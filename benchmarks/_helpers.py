@@ -1,0 +1,9 @@
+"""Helpers shared by the figure-reproduction benchmarks."""
+
+#: Days of the main paired-link experiment (Wednesday through Sunday).
+EXPERIMENT_DAYS = (0, 1, 2, 3, 4)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a benchmark exactly once (the workloads are too large to repeat)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,42 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure from the paper.  The
+expensive inputs (the paired-link workload run) are produced once per
+session and shared; each benchmark then times the analysis step that
+produces its figure and asserts the qualitative shape the paper reports.
+
+Run with:  pytest benchmarks/ --benchmark-only
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments import PairedLinkExperiment  # noqa: E402
+from repro.workload import WorkloadConfig  # noqa: E402
+
+#: Days of the main experiment (Wednesday through Sunday).
+EXPERIMENT_DAYS = (0, 1, 2, 3, 4)
+
+
+@pytest.fixture(scope="session")
+def paired_experiment():
+    """The paired-link experiment configuration used by all benchmarks."""
+    config = WorkloadConfig(sessions_at_peak=300, n_accounts=4000, seed=7)
+    return PairedLinkExperiment(config=config)
+
+
+@pytest.fixture(scope="session")
+def paired_outcome(paired_experiment):
+    """One full run of the paired-link experiment, shared across benchmarks."""
+    return paired_experiment.run()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a benchmark exactly once (the workloads are too large to repeat)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

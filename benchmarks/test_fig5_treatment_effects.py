@@ -1,0 +1,61 @@
+"""Figure 5: treatment effects of bitrate capping, by estimator.
+
+Paper finding (qualitative shape reproduced here):
+
+* throughput — naive A/B tests report a small *decrease* (~-5 %) while the
+  TTE is a double-digit *increase* and the spillover is strongly positive;
+* minimum RTT — naive tests report an increase, the TTE is a large
+  decrease (wrong sign again);
+* play delay — naive tests see nothing, the TTE is a ~10 % improvement;
+* video bitrate and bytes sent drop by tens of percent everywhere;
+* the retransmitted-byte fraction rises overall.
+"""
+
+from benchmarks._helpers import run_once
+
+from repro.core.units import SESSION_METRICS
+from repro.reporting import format_table
+
+
+def test_fig5_treatment_effect_table(benchmark, paired_outcome):
+    rows = run_once(benchmark, paired_outcome.figure5_rows)
+    by_metric = {row["metric"]: row for row in rows}
+
+    print(
+        "\n"
+        + format_table(
+            ["metric", "A/B 5%", "A/B 95%", "TTE", "spillover"],
+            [
+                [
+                    row["metric"],
+                    f"{row['ab_0.05']:+.1f}%",
+                    f"{row['ab_0.95']:+.1f}%",
+                    f"{row['tte']:+.1f}%",
+                    f"{row['spillover']:+.1f}%",
+                ]
+                for row in rows
+            ],
+        )
+    )
+
+    assert {row["metric"] for row in rows} == set(SESSION_METRICS)
+
+    throughput = by_metric["throughput_mbps"]
+    assert throughput["ab_0.05"] < 3.0 and throughput["ab_0.95"] < 3.0
+    assert throughput["tte"] > 3.0
+    assert throughput["spillover"] > 5.0
+
+    rtt = by_metric["min_rtt_ms"]
+    assert rtt["ab_0.05"] > 0.0          # naive: RTT looks worse
+    assert rtt["tte"] < -8.0             # truth: RTT improves a lot
+    assert rtt["spillover"] < -8.0
+
+    play = by_metric["play_delay_s"]
+    assert abs(play["ab_0.05"]) < 5.0
+    assert play["tte"] < -5.0
+
+    bitrate = by_metric["video_bitrate_kbps"]
+    assert bitrate["tte"] < -25.0
+
+    assert by_metric["bytes_sent_gb"]["tte"] < -20.0
+    assert by_metric["retransmit_fraction"]["tte"] > 0.0

@@ -1,0 +1,35 @@
+"""Figure 6: hourly client throughput, baseline Saturday vs experiment Saturday.
+
+Paper finding: during the baseline period the two links' throughput curves
+lie on top of each other; during the experiment the mostly-capped link
+stays uncongested longer and shows visibly higher throughput through the
+peak hours.
+"""
+
+import numpy as np
+from benchmarks._helpers import run_once
+
+from repro.reporting import format_series
+
+
+def test_fig6_hourly_throughput(benchmark, paired_outcome):
+    series = run_once(benchmark, paired_outcome.figure6_series)
+
+    for period in ("baseline", "experiment"):
+        print(f"\n{period} Saturday, link 1: {format_series(series[period][1])}")
+        print(f"{period} Saturday, link 2: {format_series(series[period][2])}")
+
+    peak_hours = [h for h in range(18, 23)]
+
+    def peak_gap(period):
+        link1, link2 = series[period][1], series[period][2]
+        common = [h for h in peak_hours if h in link1 and h in link2]
+        return float(np.mean([link1[h] - link2[h] for h in common]))
+
+    # Baseline: links indistinguishable at peak.  Experiment: link 1 clearly higher.
+    assert abs(peak_gap("baseline")) < 0.1
+    assert peak_gap("experiment") > 0.05
+
+    # Peak-hour congestion is visible as a throughput drop on the uncapped link.
+    experiment_link2 = series["experiment"][2]
+    assert experiment_link2[20] < 0.75 * max(experiment_link2.values())

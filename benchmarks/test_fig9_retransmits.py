@@ -1,0 +1,24 @@
+"""Figure 9: retransmitted-byte fraction, peak vs off-peak hours.
+
+Paper finding: capping *increases* the retransmitted-byte percentage
+off-peak (the denominator — bytes sent — shrinks more than the numerator)
+and *decreases* it during congested peak hours, netting out to a modest
+overall increase.
+"""
+
+from benchmarks._helpers import run_once
+
+
+def test_fig9_retransmit_split(benchmark, paired_outcome):
+    split = run_once(benchmark, paired_outcome.figure9_retransmit_split)
+
+    print(
+        f"\npeak: {100 * split['peak']:+.1f}%   "
+        f"off-peak: {100 * split['off_peak']:+.1f}%   "
+        f"overall TTE: {100 * split['overall']:+.1f}%"
+    )
+
+    assert split["off_peak"] > 0.0
+    assert split["peak"] < 0.0
+    assert split["overall"] > split["peak"]
+    assert split["overall"] < split["off_peak"]

@@ -1,0 +1,55 @@
+"""repro: reproduction of "Unbiased Experiments in Congested Networks" (IMC 2021).
+
+The package is organised in four layers:
+
+``repro.core``
+    The paper's primary contribution: a potential-outcomes framework for
+    network experiments, experiment designs (naive A/B, paired link,
+    switchback, event study, gradual deployment, A/A), and the statistical
+    analysis pipeline (hourly aggregation, fixed-effect regression,
+    Newey-West standard errors, interference diagnostics).
+
+``repro.netsim``
+    The lab substrate: a fluid bottleneck-sharing simulator and a
+    packet-level discrete-event simulator with Reno, Cubic, BBR and pacing.
+
+``repro.workload``
+    The production substrate: a synthetic Netflix-like paired-link video
+    workload with diurnal demand, congestion, ABR and QoE outcome models.
+
+``repro.experiments``
+    End-to-end harnesses that re-run every experiment in the paper and
+    return the rows/series behind each figure.
+"""
+
+from repro.core.assignment import (
+    Assignment,
+    bernoulli_assignment,
+    fixed_fraction_assignment,
+)
+from repro.core.estimands import EstimandSet, PotentialOutcomeCurve
+from repro.core.estimators import (
+    DifferenceInMeans,
+    EstimateWithCI,
+    difference_in_means,
+    quantile_treatment_effect,
+)
+from repro.core.units import OutcomeTable, Session, Unit
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Assignment",
+    "bernoulli_assignment",
+    "fixed_fraction_assignment",
+    "EstimandSet",
+    "PotentialOutcomeCurve",
+    "DifferenceInMeans",
+    "EstimateWithCI",
+    "difference_in_means",
+    "quantile_treatment_effect",
+    "OutcomeTable",
+    "Session",
+    "Unit",
+    "__version__",
+]

@@ -1,0 +1,168 @@
+"""Command-line interface: reproduce any of the paper's figures from a shell.
+
+Usage::
+
+    python -m repro list                 # list available figures
+    python -m repro fig2a                # parallel-connections lab figure
+    python -m repro fig5 --quick         # paired-link treatment-effect table
+    python -m repro fig10 --seed 11      # design comparison
+
+Every command prints the same rows/series the corresponding benchmark
+asserts on; ``--quick`` shrinks the synthetic workload for faster runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core.units import SESSION_METRICS
+from repro.experiments import (
+    PairedLinkExperiment,
+    compare_designs,
+    compare_links_at_baseline,
+    run_cc_experiment,
+    run_connections_experiment,
+    run_pacing_experiment,
+)
+from repro.reporting import format_table
+from repro.workload import WorkloadConfig
+
+__all__ = ["main"]
+
+#: Figures that only need the fluid lab simulator.
+LAB_FIGURES = {
+    "fig2a": run_connections_experiment,
+    "fig2b": run_pacing_experiment,
+    "fig3": run_cc_experiment,
+}
+
+#: Figures derived from the paired-link workload run.
+PAIRED_FIGURES = ("baseline", "fig5", "fig7", "fig8", "fig9", "fig10")
+
+
+def _print_lab_figure(name: str) -> None:
+    figure = LAB_FIGURES[name]()
+    print("\n".join(figure.summary_lines()))
+
+
+def _run_paired(args: argparse.Namespace):
+    sessions = 150 if args.quick else 300
+    config = WorkloadConfig(sessions_at_peak=sessions, seed=args.seed)
+    return PairedLinkExperiment(config=config).run()
+
+
+def _print_paired_figure(name: str, args: argparse.Namespace) -> None:
+    outcome = _run_paired(args)
+    if name == "baseline":
+        rows = [
+            [r.metric, f"{r.relative_percent:+.1f}%", "yes" if r.significant else "no"]
+            for r in compare_links_at_baseline(outcome.baseline_table)
+        ]
+        print(format_table(["metric", "link1 vs link2", "significant"], rows))
+    elif name == "fig5":
+        rows = [
+            [
+                row["metric"],
+                f"{row['ab_0.05']:+.1f}%",
+                f"{row['ab_0.95']:+.1f}%",
+                f"{row['tte']:+.1f}%",
+                f"{row['spillover']:+.1f}%",
+            ]
+            for row in outcome.figure5_rows()
+        ]
+        print(format_table(["metric", "A/B 5%", "A/B 95%", "TTE", "spillover"], rows))
+    elif name == "fig7":
+        cells = outcome.figure7_cells()
+        print(
+            format_table(
+                ["cell", "throughput (Mb/s)"],
+                [
+                    ["link 1, capped 95%", f"{cells.link1_treated:.2f}"],
+                    ["link 1, uncapped 5%", f"{cells.link1_control:.2f}"],
+                    ["link 2, capped 5%", f"{cells.link2_treated:.2f}"],
+                    ["link 2, uncapped 95%", f"{cells.link2_control:.2f}"],
+                ],
+            )
+        )
+    elif name == "fig8":
+        cells = outcome.figure8_cells()
+        print(
+            format_table(
+                ["cell", "min RTT (normalized)"],
+                [
+                    ["link 1, capped 95%", f"{cells.link1_treated:.3f}"],
+                    ["link 1, uncapped 5%", f"{cells.link1_control:.3f}"],
+                    ["link 2, capped 5%", f"{cells.link2_treated:.3f}"],
+                    ["link 2, uncapped 95%", f"{cells.link2_control:.3f}"],
+                ],
+            )
+        )
+    elif name == "fig9":
+        split = outcome.figure9_retransmit_split()
+        print(
+            format_table(
+                ["period", "retransmit change"],
+                [
+                    ["peak", f"{100 * split['peak']:+.1f}%"],
+                    ["off-peak", f"{100 * split['off_peak']:+.1f}%"],
+                    ["overall TTE", f"{100 * split['overall']:+.1f}%"],
+                ],
+            )
+        )
+    elif name == "fig10":
+        comparison = compare_designs(
+            outcome.experiment_table,
+            (0, 1, 2, 3, 4),
+            outcome.estimates["tte"],
+            baselines=outcome.baselines,
+        )
+        rows = [
+            [
+                row["metric"],
+                f"{row['paired_link']:+.1f}%",
+                f"{row['switchback']:+.1f}%",
+                f"{row['event_study']:+.1f}%",
+            ]
+            for row in comparison.rows(SESSION_METRICS)
+        ]
+        print(format_table(["metric", "paired link", "switchback", "event study"], rows))
+    else:  # pragma: no cover - guarded by argparse choices
+        raise KeyError(name)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce figures from 'Unbiased Experiments in Congested Networks' (IMC 2021).",
+    )
+    parser.add_argument(
+        "figure",
+        choices=["list", *LAB_FIGURES, *PAIRED_FIGURES],
+        help="which figure to reproduce ('list' to enumerate)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="use a smaller synthetic workload"
+    )
+    parser.add_argument("--seed", type=int, default=7, help="workload random seed")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point.  Returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.figure == "list":
+        print("lab figures:        " + ", ".join(sorted(LAB_FIGURES)))
+        print("paired-link figures: " + ", ".join(PAIRED_FIGURES))
+        return 0
+    if args.figure in LAB_FIGURES:
+        _print_lab_figure(args.figure)
+    else:
+        _print_paired_figure(args.figure, args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

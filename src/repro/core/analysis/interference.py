@@ -1,0 +1,120 @@
+"""Diagnostics for congestion interference (SUTVA violations).
+
+Section 5.1 of the paper describes how a gradual deployment — a series of
+A/B tests at increasing allocations ``p_1 < p_2 < ...`` — can be used to
+*measure* interference.  If SUTVA holds then, for every pair of allocations,
+
+* the average treatment effects agree: ``tau(p_i) = tau(p_j)``,
+* the partial effects agree with the average effects: ``rho(p_i) = tau(p_i)``,
+* the spillovers are zero: ``s(p_i) = 0``.
+
+:func:`detect_interference` applies these checks to a set of estimates (one
+per allocation), using the estimates' confidence intervals as the test: two
+estimates "disagree" when their intervals do not overlap, and a spillover is
+"non-zero" when its interval excludes zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Mapping, Sequence
+
+from repro.core.estimators import EstimateWithCI
+
+__all__ = ["InterferenceDiagnostics", "detect_interference", "intervals_overlap"]
+
+
+def intervals_overlap(a: EstimateWithCI, b: EstimateWithCI) -> bool:
+    """True when two confidence intervals overlap."""
+    return a.ci_low <= b.ci_high and b.ci_low <= a.ci_high
+
+
+@dataclass(frozen=True)
+class InterferenceDiagnostics:
+    """Result of the interference checks across allocations.
+
+    Attributes
+    ----------
+    inconsistent_ate_pairs:
+        Pairs of allocations whose average treatment effects have
+        non-overlapping confidence intervals.
+    nonzero_spillovers:
+        Allocations at which the spillover confidence interval excludes zero.
+    partial_vs_ate_disagreements:
+        Allocations at which the partial effect and the average effect have
+        non-overlapping intervals.
+    """
+
+    inconsistent_ate_pairs: tuple[tuple[float, float], ...] = ()
+    nonzero_spillovers: tuple[float, ...] = ()
+    partial_vs_ate_disagreements: tuple[float, ...] = ()
+
+    @property
+    def interference_detected(self) -> bool:
+        """True when any of the SUTVA implications fails."""
+        return bool(
+            self.inconsistent_ate_pairs
+            or self.nonzero_spillovers
+            or self.partial_vs_ate_disagreements
+        )
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph summary of the diagnostics."""
+        if not self.interference_detected:
+            return "No evidence of congestion interference at the tested allocations."
+        parts: list[str] = []
+        if self.inconsistent_ate_pairs:
+            pairs = ", ".join(f"(p={a:g}, p={b:g})" for a, b in self.inconsistent_ate_pairs)
+            parts.append(f"treatment effects disagree between allocations {pairs}")
+        if self.nonzero_spillovers:
+            allocs = ", ".join(f"p={p:g}" for p in self.nonzero_spillovers)
+            parts.append(f"non-zero spillover at {allocs}")
+        if self.partial_vs_ate_disagreements:
+            allocs = ", ".join(f"p={p:g}" for p in self.partial_vs_ate_disagreements)
+            parts.append(f"partial effects disagree with A/B effects at {allocs}")
+        return "Congestion interference detected: " + "; ".join(parts) + "."
+
+
+def detect_interference(
+    ate_by_allocation: Mapping[float, EstimateWithCI],
+    spillover_by_allocation: Mapping[float, EstimateWithCI] | None = None,
+    partial_by_allocation: Mapping[float, EstimateWithCI] | None = None,
+) -> InterferenceDiagnostics:
+    """Apply the SUTVA consistency checks to a set of estimates.
+
+    Parameters
+    ----------
+    ate_by_allocation:
+        Estimated average treatment effect at each deployed allocation.
+    spillover_by_allocation:
+        Estimated spillover at each allocation (optional).
+    partial_by_allocation:
+        Estimated partial treatment effect at each allocation (optional).
+    """
+    if not ate_by_allocation:
+        raise ValueError("at least one average treatment effect estimate is required")
+
+    allocations = sorted(ate_by_allocation)
+    inconsistent: list[tuple[float, float]] = []
+    for i, p_i in enumerate(allocations):
+        for p_j in allocations[i + 1 :]:
+            if not intervals_overlap(ate_by_allocation[p_i], ate_by_allocation[p_j]):
+                inconsistent.append((p_i, p_j))
+
+    nonzero_spill: list[float] = []
+    for p, estimate in sorted((spillover_by_allocation or {}).items()):
+        if estimate.significant:
+            nonzero_spill.append(p)
+
+    partial_disagree: list[float] = []
+    for p, estimate in sorted((partial_by_allocation or {}).items()):
+        if p in ate_by_allocation and not intervals_overlap(
+            estimate, ate_by_allocation[p]
+        ):
+            partial_disagree.append(p)
+
+    return InterferenceDiagnostics(
+        inconsistent_ate_pairs=tuple(inconsistent),
+        nonzero_spillovers=tuple(nonzero_spill),
+        partial_vs_ate_disagreements=tuple(partial_disagree),
+    )

@@ -1,0 +1,86 @@
+"""Newey-West heteroskedasticity-and-autocorrelation-consistent covariance.
+
+The paper estimates confidence intervals for the hourly regression using
+Newey-West robust standard errors with a lag of two hours (Appendix B).
+Successive hours of traffic are autocorrelated — congestion in one hour
+predicts congestion in the next — and hourly means have very different
+variances at peak versus off-peak, so ordinary OLS standard errors would be
+badly miscalibrated.
+
+The estimator, for a regression with design matrix ``X`` (n x k), residuals
+``e`` and maximum lag ``L``, is
+
+.. math::
+
+    \\hat{V} = (X'X)^{-1} \\hat{S} (X'X)^{-1}
+
+    \\hat{S} = \\Gamma_0 + \\sum_{l=1}^{L} w_l (\\Gamma_l + \\Gamma_l')
+
+    \\Gamma_l = \\sum_{t=l+1}^{n} e_t e_{t-l} x_t x_{t-l}'
+
+with Bartlett kernel weights ``w_l = 1 - l / (L + 1)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["newey_west_covariance", "bartlett_weights"]
+
+
+def bartlett_weights(max_lag: int) -> np.ndarray:
+    """Bartlett kernel weights ``1 - l/(L+1)`` for lags ``1..L``."""
+    if max_lag < 0:
+        raise ValueError("max_lag must be non-negative")
+    if max_lag == 0:
+        return np.empty(0, dtype=float)
+    lags = np.arange(1, max_lag + 1, dtype=float)
+    return 1.0 - lags / (max_lag + 1.0)
+
+
+def newey_west_covariance(
+    design: np.ndarray, residuals: np.ndarray, max_lag: int = 2
+) -> np.ndarray:
+    """Newey-West covariance matrix of OLS coefficient estimates.
+
+    Parameters
+    ----------
+    design:
+        The regression design matrix, shape ``(n, k)``.  Rows must be in
+        time order for the lag structure to make sense.
+    residuals:
+        OLS residuals, shape ``(n,)``.
+    max_lag:
+        Maximum autocorrelation lag ``L`` (the paper uses 2 hours).
+
+    Returns
+    -------
+    numpy.ndarray
+        The ``(k, k)`` covariance matrix of the coefficients.
+    """
+    X = np.asarray(design, dtype=float)
+    e = np.asarray(residuals, dtype=float)
+    if X.ndim != 2:
+        raise ValueError("design must be a 2-D matrix")
+    if e.ndim != 1 or e.shape[0] != X.shape[0]:
+        raise ValueError("residuals must be 1-D and match the design's row count")
+    if max_lag < 0:
+        raise ValueError("max_lag must be non-negative")
+    n, k = X.shape
+    if n <= k:
+        raise ValueError("need more observations than parameters")
+
+    xtx_inv = np.linalg.pinv(X.T @ X)
+
+    # Lag-0 term (White / HC0 meat).
+    xe = X * e[:, None]
+    S = xe.T @ xe
+
+    weights = bartlett_weights(min(max_lag, n - 1))
+    for lag_index, w in enumerate(weights, start=1):
+        gamma = xe[lag_index:].T @ xe[:-lag_index]
+        S += w * (gamma + gamma.T)
+
+    cov = xtx_inv @ S @ xtx_inv
+    # Symmetrize to remove tiny floating-point asymmetries.
+    return (cov + cov.T) / 2.0

@@ -1,0 +1,40 @@
+"""Experiment designs for congested networks.
+
+Each design describes *how treatment allocation varies over links and days*
+(an :class:`~repro.core.designs.base.AllocationPlan`) and *which cells of
+the resulting data estimate which causal quantity* (a list of
+:class:`~repro.core.designs.base.ComparisonSpec`).
+
+Available designs:
+
+* :class:`~repro.core.designs.ab_test.ABTestDesign` — the naive A/B test.
+* :class:`~repro.core.designs.aa_test.AATestDesign` — an A/A calibration test.
+* :class:`~repro.core.designs.paired_link.PairedLinkDesign` — the paper's
+  Section 4 design: simultaneous 95 % / 5 % A/B tests on two parallel links.
+* :class:`~repro.core.designs.switchback.SwitchbackDesign` — randomized
+  treatment/control time intervals (Section 5.2).
+* :class:`~repro.core.designs.event_study.EventStudyDesign` — a before/after
+  deployment comparison (Section 5.1).
+* :class:`~repro.core.designs.gradual_deployment.GradualDeploymentDesign` —
+  a staged ramp of allocations usable to detect interference.
+"""
+
+from repro.core.designs.base import AllocationPlan, ComparisonSpec, ExperimentDesign
+from repro.core.designs.ab_test import ABTestDesign
+from repro.core.designs.aa_test import AATestDesign
+from repro.core.designs.paired_link import PairedLinkDesign
+from repro.core.designs.switchback import SwitchbackDesign
+from repro.core.designs.event_study import EventStudyDesign
+from repro.core.designs.gradual_deployment import GradualDeploymentDesign
+
+__all__ = [
+    "AllocationPlan",
+    "ComparisonSpec",
+    "ExperimentDesign",
+    "ABTestDesign",
+    "AATestDesign",
+    "PairedLinkDesign",
+    "SwitchbackDesign",
+    "EventStudyDesign",
+    "GradualDeploymentDesign",
+]

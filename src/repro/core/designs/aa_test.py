@@ -1,0 +1,68 @@
+"""A/A calibration test.
+
+An A/A test assigns sessions to two groups that both receive the *control*
+experience.  Any "effect" measured between the groups is a false positive,
+so A/A tests calibrate the analysis pipeline: they detect broken
+randomization, mis-specified variance estimates, or pre-existing
+differences between targeted networks.  The paper runs an A/A test on the
+paired links in the week after the main experiment to confirm that a
+switchback design on those links would not have produced false positives
+(Section 5.3).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.designs.base import (
+    AllocationPlan,
+    CellSelector,
+    ComparisonSpec,
+    ExperimentDesign,
+)
+
+__all__ = ["AATestDesign"]
+
+
+class AATestDesign(ExperimentDesign):
+    """An A/A test: a "treatment" group that actually receives control.
+
+    Parameters
+    ----------
+    allocation:
+        Fraction of sessions labelled as the (sham) treatment group.
+    """
+
+    name = "aa_test"
+
+    def __init__(self, allocation: float = 0.5):
+        if not 0.0 <= allocation <= 1.0:
+            raise ValueError("allocation must be in [0, 1]")
+        self.allocation = float(allocation)
+
+    #: A/A tests apply no real treatment; substrates should check this flag
+    #: and leave the "treated" sessions' behaviour unchanged.
+    applies_treatment = False
+
+    def allocation_plan(
+        self, links: Sequence[int], days: Sequence[int]
+    ) -> AllocationPlan:
+        cells = {(link, day): self.allocation for link in links for day in days}
+        return AllocationPlan(cells, default=self.allocation)
+
+    def comparisons(
+        self, links: Sequence[int], days: Sequence[int]
+    ) -> list[ComparisonSpec]:
+        links_t = tuple(int(link) for link in links)
+        days_t = tuple(int(day) for day in days)
+        return [
+            ComparisonSpec(
+                estimand="aa_null",
+                treatment_selector=CellSelector(links_t, days_t, treated=True),
+                control_selector=CellSelector(links_t, days_t, treated=False),
+                description="A/A comparison; the true effect is zero by construction.",
+            )
+        ]
+
+    def describe(self) -> str:
+        return f"A/A calibration test at allocation p={self.allocation:g}"

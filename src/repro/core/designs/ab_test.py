@@ -1,0 +1,68 @@
+"""The naive A/B test design.
+
+Every session, on every link and every day, is independently assigned to
+treatment with the same probability ``allocation``.  The only estimand the
+design supports is the within-experiment average treatment effect
+``tau(allocation)``, which "naive" practice then interprets as if it were
+the total treatment effect — the interpretation the paper shows to be
+biased under congestion interference.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.designs.base import (
+    AllocationPlan,
+    CellSelector,
+    ComparisonSpec,
+    ExperimentDesign,
+)
+
+__all__ = ["ABTestDesign"]
+
+
+class ABTestDesign(ExperimentDesign):
+    """A classic A/B test at a single allocation.
+
+    Parameters
+    ----------
+    allocation:
+        Fraction of sessions assigned to treatment (e.g. 0.05 for a 5 %
+        test).
+    """
+
+    name = "ab_test"
+
+    def __init__(self, allocation: float):
+        if not 0.0 <= allocation <= 1.0:
+            raise ValueError("allocation must be in [0, 1]")
+        self.allocation = float(allocation)
+
+    def allocation_plan(
+        self, links: Sequence[int], days: Sequence[int]
+    ) -> AllocationPlan:
+        cells = {
+            (link, day): self.allocation for link in links for day in days
+        }
+        return AllocationPlan(cells, default=self.allocation)
+
+    def comparisons(
+        self, links: Sequence[int], days: Sequence[int]
+    ) -> list[ComparisonSpec]:
+        links_t = tuple(int(link) for link in links)
+        days_t = tuple(int(day) for day in days)
+        return [
+            ComparisonSpec(
+                estimand=f"ab_{self.allocation:g}",
+                treatment_selector=CellSelector(links_t, days_t, treated=True),
+                control_selector=CellSelector(links_t, days_t, treated=False),
+                description=(
+                    f"Naive A/B comparison at allocation p={self.allocation:g}: "
+                    "treated vs control sessions sharing the same links."
+                ),
+            )
+        ]
+
+    def describe(self) -> str:
+        return f"Naive A/B test at allocation p={self.allocation:g}"

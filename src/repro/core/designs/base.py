@@ -1,0 +1,132 @@
+"""Common building blocks shared by all experiment designs.
+
+A design answers two questions:
+
+1. **Allocation** — for each (link, day) cell of the experiment, what
+   fraction of sessions is assigned to treatment?  This is an
+   :class:`AllocationPlan`, the object the workload/substrate consumes when
+   generating or labelling traffic.
+
+2. **Analysis** — which cells of the resulting data are compared to
+   estimate which quantity?  Each comparison is a :class:`ComparisonSpec`:
+   a named estimand (``"tte"``, ``"spillover"``, ``"ab_0.05"``, ...) with
+   selectors for the sessions acting as treatment and control in that
+   comparison.
+
+:class:`ExperimentDesign` is the abstract interface implemented by the
+concrete designs in this package.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from collections.abc import Mapping, Sequence
+
+__all__ = ["CellSelector", "ComparisonSpec", "AllocationPlan", "ExperimentDesign"]
+
+
+@dataclass(frozen=True)
+class CellSelector:
+    """Selects a subset of sessions by link, day and arm.
+
+    ``None`` for a field means "any value".  ``treated`` refers to the
+    session's assigned arm within its own (link, day) cell.
+    """
+
+    links: tuple[int, ...] | None = None
+    days: tuple[int, ...] | None = None
+    treated: bool | None = None
+
+    def matches(self, link: int, day: int, treated: bool) -> bool:
+        """True when a session with these attributes is selected."""
+        if self.links is not None and link not in self.links:
+            return False
+        if self.days is not None and day not in self.days:
+            return False
+        if self.treated is not None and treated != self.treated:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class ComparisonSpec:
+    """One estimand and the two groups of sessions that estimate it."""
+
+    estimand: str
+    treatment_selector: CellSelector
+    control_selector: CellSelector
+    description: str = ""
+
+
+class AllocationPlan:
+    """Treatment allocation per (link, day) cell.
+
+    Parameters
+    ----------
+    allocations:
+        Mapping from ``(link, day)`` to the treatment allocation ``p`` used
+        for sessions on that link during that day.
+    default:
+        Allocation used for any (link, day) not explicitly listed.
+    """
+
+    def __init__(
+        self,
+        allocations: Mapping[tuple[int, int], float] | None = None,
+        default: float = 0.0,
+    ):
+        self._allocations: dict[tuple[int, int], float] = {}
+        for key, p in (allocations or {}).items():
+            self._set(key, p)
+        if not 0.0 <= default <= 1.0:
+            raise ValueError("default allocation must be in [0, 1]")
+        self._default = float(default)
+
+    def _set(self, key: tuple[int, int], p: float) -> None:
+        link, day = int(key[0]), int(key[1])
+        p = float(p)
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"allocation for {(link, day)} must be in [0, 1], got {p}")
+        self._allocations[(link, day)] = p
+
+    def allocation(self, link: int, day: int) -> float:
+        """Treatment allocation for sessions on ``link`` during ``day``."""
+        return self._allocations.get((int(link), int(day)), self._default)
+
+    @property
+    def cells(self) -> dict[tuple[int, int], float]:
+        """All explicitly specified (link, day) -> allocation entries."""
+        return dict(self._allocations)
+
+    @property
+    def links(self) -> list[int]:
+        """Links explicitly mentioned by the plan."""
+        return sorted({link for link, _ in self._allocations})
+
+    @property
+    def days(self) -> list[int]:
+        """Days explicitly mentioned by the plan."""
+        return sorted({day for _, day in self._allocations})
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AllocationPlan(cells={self._allocations}, default={self._default})"
+
+
+class ExperimentDesign(abc.ABC):
+    """Abstract base class of all experiment designs."""
+
+    #: Short machine-readable name of the design.
+    name: str = "design"
+
+    @abc.abstractmethod
+    def allocation_plan(self, links: Sequence[int], days: Sequence[int]) -> AllocationPlan:
+        """Return the allocation plan over the given links and days."""
+
+    @abc.abstractmethod
+    def comparisons(self, links: Sequence[int], days: Sequence[int]) -> list[ComparisonSpec]:
+        """Return the comparisons (estimands) the design supports."""
+
+    def describe(self) -> str:
+        """One-line human-readable description of the design."""
+        return self.name

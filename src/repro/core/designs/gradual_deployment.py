@@ -1,0 +1,143 @@
+"""Gradual deployment as a measurement instrument (Section 5.1).
+
+Engineers already deploy new algorithms gradually — increasing the
+allocation in steps (1 %, 5 %, 25 %, 50 %, 100 %) while monitoring for
+regressions.  The paper points out that the same ramp, analyzed carefully,
+measures congestion interference for free: at every step the experimenter
+observes an A/B test at allocation ``p_i`` and can estimate
+
+* the average treatment effect ``tau(p_i)``,
+* the spillover ``s(p_i)`` (comparing control at ``p_i`` to control at 0),
+* the partial treatment effect ``rho(p_i)`` (treatment at ``p_i`` vs
+  control at 0),
+
+and, once the ramp reaches 100 %, the total treatment effect.  If SUTVA
+held, all the ``tau(p_i)`` would agree, all spillovers would be zero and
+``rho(p_i) = tau(p_i)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.designs.base import (
+    AllocationPlan,
+    CellSelector,
+    ComparisonSpec,
+    ExperimentDesign,
+)
+
+__all__ = ["GradualDeploymentDesign"]
+
+#: A conventional ramp used when the caller does not specify one.
+DEFAULT_RAMP: tuple[float, ...] = (0.0, 0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 1.0)
+
+
+class GradualDeploymentDesign(ExperimentDesign):
+    """A staged allocation ramp across the experiment's days.
+
+    Parameters
+    ----------
+    ramp:
+        Sequence of allocations, one per deployment stage.  Stages are
+        mapped onto the experiment's days in order; if there are more days
+        than stages the final stage persists, if there are fewer days than
+        stages the ramp is truncated.
+    """
+
+    name = "gradual_deployment"
+
+    def __init__(self, ramp: Sequence[float] = DEFAULT_RAMP):
+        if not ramp:
+            raise ValueError("ramp must contain at least one allocation")
+        for p in ramp:
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"ramp allocations must be in [0, 1], got {p}")
+        if list(ramp) != sorted(ramp):
+            raise ValueError("ramp allocations must be non-decreasing")
+        self.ramp = tuple(float(p) for p in ramp)
+
+    def allocation_for_day_index(self, index: int) -> float:
+        """Allocation used on the ``index``-th day of the deployment."""
+        if index < 0:
+            raise ValueError("day index must be non-negative")
+        return self.ramp[min(index, len(self.ramp) - 1)]
+
+    def allocation_plan(
+        self, links: Sequence[int], days: Sequence[int]
+    ) -> AllocationPlan:
+        cells: dict[tuple[int, int], float] = {}
+        for idx, day in enumerate(sorted(int(d) for d in days)):
+            allocation = self.allocation_for_day_index(idx)
+            for link in links:
+                cells[(int(link), day)] = allocation
+        return AllocationPlan(cells, default=self.ramp[-1])
+
+    def comparisons(
+        self, links: Sequence[int], days: Sequence[int]
+    ) -> list[ComparisonSpec]:
+        links_t = tuple(int(link) for link in links)
+        ordered_days = sorted(int(d) for d in days)
+        stage_days: dict[float, list[int]] = {}
+        for idx, day in enumerate(ordered_days):
+            stage_days.setdefault(self.allocation_for_day_index(idx), []).append(day)
+
+        baseline_days = tuple(stage_days.get(0.0, ()))
+        specs: list[ComparisonSpec] = []
+        for allocation in sorted(stage_days):
+            day_set = tuple(stage_days[allocation])
+            if 0.0 < allocation < 1.0:
+                specs.append(
+                    ComparisonSpec(
+                        estimand=f"ab_{allocation:g}",
+                        treatment_selector=CellSelector(links_t, day_set, treated=True),
+                        control_selector=CellSelector(links_t, day_set, treated=False),
+                        description=f"A/B effect at ramp stage p={allocation:g}.",
+                    )
+                )
+            if baseline_days and allocation > 0.0:
+                specs.append(
+                    ComparisonSpec(
+                        estimand=f"partial_{allocation:g}",
+                        treatment_selector=CellSelector(links_t, day_set, treated=True),
+                        control_selector=CellSelector(
+                            links_t, baseline_days, treated=False
+                        ),
+                        description=(
+                            f"Partial treatment effect rho(p={allocation:g}) vs the "
+                            "all-control baseline stage."
+                        ),
+                    )
+                )
+                if allocation < 1.0:
+                    specs.append(
+                        ComparisonSpec(
+                            estimand=f"spillover_{allocation:g}",
+                            treatment_selector=CellSelector(
+                                links_t, day_set, treated=False
+                            ),
+                            control_selector=CellSelector(
+                                links_t, baseline_days, treated=False
+                            ),
+                            description=(
+                                f"Spillover s(p={allocation:g}) vs the all-control "
+                                "baseline stage."
+                            ),
+                        )
+                    )
+        if baseline_days and 1.0 in stage_days:
+            specs.append(
+                ComparisonSpec(
+                    estimand="tte",
+                    treatment_selector=CellSelector(
+                        links_t, tuple(stage_days[1.0]), treated=True
+                    ),
+                    control_selector=CellSelector(links_t, baseline_days, treated=False),
+                    description="TTE: the fully-deployed stage vs the all-control stage.",
+                )
+            )
+        return specs
+
+    def describe(self) -> str:
+        ramp = ", ".join(f"{p:g}" for p in self.ramp)
+        return f"Gradual deployment with ramp [{ramp}]"

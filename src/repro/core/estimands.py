@@ -1,0 +1,243 @@
+"""Causal estimands for network experiments.
+
+Section 2 of the paper defines, for a treatment allocation ``p``:
+
+``mu_T(p)``
+    Expected average outcome of *treated* units when a fraction ``p`` of
+    units is treated.
+``mu_C(p)``
+    Expected average outcome of *control* units when a fraction ``p`` of
+    units is treated.
+``tau(p) = mu_T(p) - mu_C(p)``
+    The average treatment effect measured by an A/B test at allocation ``p``.
+``TTE = mu_T(1) - mu_C(0)``
+    The total treatment effect: what changes if the experimenter moves all
+    of their traffic to the new algorithm.
+``s(p) = mu_C(p) - mu_C(0)``
+    The spillover of treatment onto control units.
+``rho(p) = mu_T(p) - mu_C(0)``
+    The partial treatment effect, useful during gradual deployments.
+
+When the Stable Unit Treatment Value Assumption (SUTVA) holds, ``mu_T`` and
+``mu_C`` do not depend on ``p``; then ``tau(p) = TTE`` for every ``p`` and
+spillovers are identically zero.  Congestion interference breaks SUTVA.
+
+:class:`PotentialOutcomeCurve` stores ``mu_T(p)`` and ``mu_C(p)`` sampled on
+a grid of allocations — exactly what the lab experiments of Section 3
+measure — and computes every estimand from it.  :class:`EstimandSet` is the
+scalar summary used in figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "EstimandSet",
+    "PotentialOutcomeCurve",
+    "sutva_holds",
+]
+
+
+@dataclass(frozen=True)
+class EstimandSet:
+    """Scalar estimands for one metric at one allocation.
+
+    Attributes
+    ----------
+    metric:
+        Name of the outcome metric.
+    allocation:
+        Treatment allocation ``p`` at which ``ate`` and ``spillover`` are
+        evaluated.
+    ate:
+        The average treatment effect ``tau(p)``.
+    tte:
+        The total treatment effect ``mu_T(1) - mu_C(0)``.
+    spillover:
+        The spillover ``s(p) = mu_C(p) - mu_C(0)``.
+    partial_effect:
+        The partial treatment effect ``rho(p) = mu_T(p) - mu_C(0)``.
+    """
+
+    metric: str
+    allocation: float
+    ate: float
+    tte: float
+    spillover: float
+    partial_effect: float
+
+    @property
+    def ab_test_bias(self) -> float:
+        """Bias of the naive A/B estimate: ``tau(p) - TTE``.
+
+        Zero when SUTVA holds; non-zero bias is the paper's headline
+        phenomenon.
+        """
+        return self.ate - self.tte
+
+    @property
+    def sign_flipped(self) -> bool:
+        """True when the A/B test gets the *direction* of the effect wrong."""
+        if self.ate == 0.0 or self.tte == 0.0:
+            return False
+        return (self.ate > 0) != (self.tte > 0)
+
+
+class PotentialOutcomeCurve:
+    """Treatment and control outcome means as a function of allocation.
+
+    This is the object drawn in Figure 1 of the paper: for each allocation
+    ``p`` on a grid, the mean outcome of treated units ``mu_T(p)`` and of
+    control units ``mu_C(p)``.  The lab experiments of Section 3 measure
+    these curves exhaustively by sweeping the number of treated flows from
+    0 to 10.
+
+    Parameters
+    ----------
+    metric:
+        Name of the outcome metric the curve describes.
+    treatment_means:
+        Mapping from allocation ``p`` (0 < p <= 1) to ``mu_T(p)``.
+    control_means:
+        Mapping from allocation ``p`` (0 <= p < 1) to ``mu_C(p)``.
+    """
+
+    def __init__(
+        self,
+        metric: str,
+        treatment_means: Mapping[float, float],
+        control_means: Mapping[float, float],
+    ):
+        self.metric = metric
+        self._mu_t = {float(p): float(v) for p, v in treatment_means.items()}
+        self._mu_c = {float(p): float(v) for p, v in control_means.items()}
+        for p in self._mu_t:
+            if not 0.0 < p <= 1.0:
+                raise ValueError(f"treatment mean defined at invalid allocation {p}")
+        for p in self._mu_c:
+            if not 0.0 <= p < 1.0:
+                raise ValueError(f"control mean defined at invalid allocation {p}")
+        if not self._mu_t:
+            raise ValueError("at least one treatment mean is required")
+        if not self._mu_c:
+            raise ValueError("at least one control mean is required")
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def allocations(self) -> list[float]:
+        """Sorted list of all allocations at which either curve is defined."""
+        return sorted(set(self._mu_t) | set(self._mu_c))
+
+    def mu_treatment(self, allocation: float) -> float:
+        """``mu_T(p)``: mean treated outcome at the given allocation."""
+        return self._interpolate(self._mu_t, allocation, "treatment")
+
+    def mu_control(self, allocation: float) -> float:
+        """``mu_C(p)``: mean control outcome at the given allocation."""
+        return self._interpolate(self._mu_c, allocation, "control")
+
+    @staticmethod
+    def _interpolate(curve: dict[float, float], p: float, label: str) -> float:
+        p = float(p)
+        if p in curve:
+            return curve[p]
+        xs = np.array(sorted(curve))
+        ys = np.array([curve[x] for x in xs])
+        if p < xs[0] or p > xs[-1]:
+            raise ValueError(
+                f"allocation {p} outside the measured {label} range "
+                f"[{xs[0]}, {xs[-1]}]"
+            )
+        return float(np.interp(p, xs, ys))
+
+    # -- estimands ------------------------------------------------------------
+
+    def ate(self, allocation: float) -> float:
+        """Average treatment effect ``tau(p) = mu_T(p) - mu_C(p)``."""
+        return self.mu_treatment(allocation) - self.mu_control(allocation)
+
+    def tte(self) -> float:
+        """Total treatment effect ``mu_T(1) - mu_C(0)``.
+
+        Requires the curve to be measured at full deployment (p = 1) and at
+        zero deployment (p = 0).
+        """
+        if 1.0 not in self._mu_t:
+            raise ValueError("TTE requires mu_T measured at allocation 1.0")
+        if 0.0 not in self._mu_c:
+            raise ValueError("TTE requires mu_C measured at allocation 0.0")
+        return self._mu_t[1.0] - self._mu_c[0.0]
+
+    def spillover(self, allocation: float) -> float:
+        """Spillover ``s(p) = mu_C(p) - mu_C(0)`` of treatment on control."""
+        if allocation >= 1.0:
+            raise ValueError("spillover is undefined at allocation 1.0 (no control)")
+        if 0.0 not in self._mu_c:
+            raise ValueError("spillover requires mu_C measured at allocation 0.0")
+        return self.mu_control(allocation) - self._mu_c[0.0]
+
+    def partial_effect(self, allocation: float) -> float:
+        """Partial treatment effect ``rho(p) = mu_T(p) - mu_C(0)``."""
+        if 0.0 not in self._mu_c:
+            raise ValueError("partial effect requires mu_C measured at allocation 0.0")
+        return self.mu_treatment(allocation) - self._mu_c[0.0]
+
+    def estimands(self, allocation: float) -> EstimandSet:
+        """All scalar estimands for the curve at the given allocation.
+
+        At full deployment (``allocation == 1``) there is no concurrent
+        control group: the within-experiment effect equals the TTE and the
+        spillover is zero by convention.
+        """
+        full = allocation >= 1.0
+        return EstimandSet(
+            metric=self.metric,
+            allocation=float(allocation),
+            ate=self.tte() if full else self.ate(allocation),
+            tte=self.tte(),
+            spillover=0.0 if full else self.spillover(allocation),
+            partial_effect=self.partial_effect(allocation),
+        )
+
+    def ab_test_bias(self, allocation: float) -> float:
+        """Bias of a naive A/B test at ``allocation``: ``tau(p) - TTE``."""
+        return self.ate(allocation) - self.tte()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PotentialOutcomeCurve(metric={self.metric!r}, "
+            f"allocations={self.allocations})"
+        )
+
+
+def sutva_holds(
+    curve: PotentialOutcomeCurve,
+    tolerance: float = 1e-9,
+    relative: bool = False,
+) -> bool:
+    """Check whether the measured curve is consistent with SUTVA.
+
+    Under SUTVA the treatment curve and the control curve are each flat in
+    the allocation: ``mu_T(p)`` and ``mu_C(p)`` do not depend on ``p``.
+    This check compares the spread of each curve against ``tolerance``
+    (absolutely, or relative to the curve's mean magnitude when
+    ``relative=True``).
+    """
+    mu_t = np.array([curve.mu_treatment(p) for p in sorted(curve._mu_t)])
+    mu_c = np.array([curve.mu_control(p) for p in sorted(curve._mu_c)])
+
+    def _flat(values: np.ndarray) -> bool:
+        if values.size <= 1:
+            return True
+        spread = float(values.max() - values.min())
+        if relative:
+            scale = max(abs(float(values.mean())), 1e-12)
+            return spread / scale <= tolerance
+        return spread <= tolerance
+
+    return _flat(mu_t) and _flat(mu_c)

@@ -1,0 +1,119 @@
+"""Glue between experiment designs, observed data and the analysis pipeline.
+
+An :class:`ExperimentResult` holds the session-level outcomes of a run
+together with the design that produced them.  :func:`evaluate_design`
+applies every comparison declared by the design to every requested metric,
+producing a table of :class:`~repro.core.analysis.pipeline.MetricEstimate`
+objects — the rows of the paper's Figures 5 and 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.analysis.pipeline import AnalysisConfig, MetricEstimate, analyze_metric
+from repro.core.designs.base import CellSelector, ComparisonSpec, ExperimentDesign
+from repro.core.units import SESSION_METRICS, OutcomeTable
+
+__all__ = ["ExperimentResult", "select_cells", "evaluate_design", "evaluate_comparisons"]
+
+
+def select_cells(table: OutcomeTable, selector: CellSelector) -> OutcomeTable:
+    """Return the subset of sessions matched by a :class:`CellSelector`."""
+    mask = np.ones(len(table), dtype=bool)
+    if selector.links is not None:
+        mask &= np.isin(table["link"].astype(int), np.array(selector.links, dtype=int))
+    if selector.days is not None:
+        mask &= np.isin(table["day"].astype(int), np.array(selector.days, dtype=int))
+    if selector.treated is not None:
+        mask &= table["treated"].astype(bool) == selector.treated
+    return table.select(mask)
+
+
+@dataclass
+class ExperimentResult:
+    """Observed outcomes of one experiment run.
+
+    Attributes
+    ----------
+    design:
+        The design that generated the allocation.
+    table:
+        Session-level outcomes (must contain ``link``, ``day``, ``hour``,
+        ``treated`` and the outcome metrics).
+    links, days:
+        The links and days covered by the run.
+    """
+
+    design: ExperimentDesign
+    table: OutcomeTable
+    links: tuple[int, ...]
+    days: tuple[int, ...]
+
+    def comparisons(self) -> list[ComparisonSpec]:
+        """Comparisons declared by the design over this run's links and days."""
+        return self.design.comparisons(self.links, self.days)
+
+
+def evaluate_comparisons(
+    table: OutcomeTable,
+    comparisons: Iterable[ComparisonSpec],
+    metrics: Sequence[str] = SESSION_METRICS,
+    baselines: dict[str, float] | None = None,
+    config: AnalysisConfig | None = None,
+) -> dict[str, dict[str, MetricEstimate]]:
+    """Apply each comparison to each metric.
+
+    Parameters
+    ----------
+    table:
+        Session-level outcomes.
+    comparisons:
+        The comparisons (estimands) to evaluate.
+    metrics:
+        Outcome metrics to analyze (defaults to all session metrics).
+    baselines:
+        Optional per-metric normalization baselines (the paper normalizes
+        everything by the global control mean).  When omitted, each
+        comparison normalizes by its own control group's mean.
+    config:
+        Analysis configuration.
+
+    Returns
+    -------
+    dict
+        ``result[estimand][metric]`` is a :class:`MetricEstimate`.
+    """
+    config = config or AnalysisConfig()
+    results: dict[str, dict[str, MetricEstimate]] = {}
+    for spec in comparisons:
+        treated = select_cells(table, spec.treatment_selector)
+        control = select_cells(table, spec.control_selector)
+        if len(treated) == 0 or len(control) == 0:
+            raise ValueError(
+                f"comparison {spec.estimand!r} selected an empty group "
+                f"(treated={len(treated)}, control={len(control)})"
+            )
+        per_metric: dict[str, MetricEstimate] = {}
+        for metric in metrics:
+            baseline = (baselines or {}).get(metric)
+            per_metric[metric] = analyze_metric(
+                treated, control, metric, spec.estimand, baseline=baseline, config=config
+            )
+        results[spec.estimand] = per_metric
+    return results
+
+
+def evaluate_design(
+    result: ExperimentResult,
+    metrics: Sequence[str] = SESSION_METRICS,
+    baselines: dict[str, float] | None = None,
+    config: AnalysisConfig | None = None,
+) -> dict[str, dict[str, MetricEstimate]]:
+    """Evaluate every comparison a design declares on the observed data."""
+    return evaluate_comparisons(
+        result.table, result.comparisons(), metrics=metrics, baselines=baselines, config=config
+    )

@@ -1,0 +1,52 @@
+"""End-to-end reproductions of every experiment in the paper.
+
+Each module runs one of the paper's experiments on the corresponding
+substrate and returns the rows/series behind the paper's figures:
+
+* :mod:`repro.experiments.lab_connections` — Figure 2a (parallel
+  connections).
+* :mod:`repro.experiments.lab_pacing` — Figure 2b (pacing).
+* :mod:`repro.experiments.lab_cc` — Figure 3 (Cubic vs BBR).
+* :mod:`repro.experiments.baseline_validation` — the Section 4.1 baseline
+  link-similarity table.
+* :mod:`repro.experiments.paired_link` — the Section 4 bitrate-capping
+  experiment (Figures 5-9 and 13).
+* :mod:`repro.experiments.alternate_designs` — the Section 5 emulated
+  switchback and event study (Figures 10-12) and the A/A calibration.
+"""
+
+from repro.experiments.lab_common import LabFigure, sweep_to_figure
+from repro.experiments.lab_connections import run_connections_experiment
+from repro.experiments.lab_pacing import run_pacing_experiment
+from repro.experiments.lab_cc import run_cc_experiment
+from repro.experiments.paired_link import PairedLinkExperiment, PairedLinkOutcome
+from repro.experiments.baseline_validation import compare_links_at_baseline
+from repro.experiments.alternate_designs import (
+    AlternateDesignComparison,
+    emulate_event_study,
+    emulate_switchback,
+    run_aa_calibration,
+    compare_designs,
+)
+from repro.experiments.gradual_deployment import (
+    GradualDeploymentOutcome,
+    run_gradual_deployment,
+)
+
+__all__ = [
+    "LabFigure",
+    "sweep_to_figure",
+    "run_connections_experiment",
+    "run_pacing_experiment",
+    "run_cc_experiment",
+    "PairedLinkExperiment",
+    "PairedLinkOutcome",
+    "compare_links_at_baseline",
+    "AlternateDesignComparison",
+    "emulate_event_study",
+    "emulate_switchback",
+    "run_aa_calibration",
+    "compare_designs",
+    "GradualDeploymentOutcome",
+    "run_gradual_deployment",
+]

@@ -1,0 +1,310 @@
+"""The paired-link bitrate-capping experiment (Section 4, Figures 5-9, 13).
+
+Runs the full protocol:
+
+1. a baseline week with no treatment anywhere (used to validate that the
+   two links are statistically similar — Section 4.1);
+2. the five-day main experiment: link 1 at 95 % capping, link 2 at 5 %;
+3. an A/A week after the experiment (used to calibrate the alternate
+   designs of Section 5).
+
+From the main-experiment data, the harness computes every estimate the
+paper reports: the two naive within-link A/B effects, the approximate TTE,
+the spillover (Figure 5), the hourly throughput time series (Figure 6),
+the four-cell means for throughput and minimum RTT (Figures 7-8), the
+peak/off-peak retransmission split (Figure 9), and the hourly-vs-account
+confidence-interval comparison (Figure 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.analysis.pipeline import AnalysisConfig, MetricEstimate
+from repro.core.designs import PairedLinkDesign
+from repro.core.experiment import ExperimentResult, evaluate_design
+from repro.core.units import SESSION_METRICS, OutcomeTable
+from repro.workload.netflix import PairedLinkWorkload, WorkloadConfig
+
+__all__ = ["PairedLinkExperiment", "PairedLinkOutcome", "CellMeans"]
+
+#: Estimand labels reported in Figure 5, in display order.
+FIGURE5_ESTIMANDS: tuple[str, ...] = ("ab_0.05", "ab_0.95", "tte", "spillover")
+
+
+@dataclass(frozen=True)
+class CellMeans:
+    """Mean of one metric in the four cells of the paired-link experiment.
+
+    The four cells are (link 1 treated, link 1 control, link 2 treated,
+    link 2 control); the paper's Figures 7 and 8 plot exactly these.
+    """
+
+    metric: str
+    link1_treated: float
+    link1_control: float
+    link2_treated: float
+    link2_control: float
+
+    def normalized(self, reference: float | None = None) -> "CellMeans":
+        """Return the cells divided by ``reference`` (default: smallest cell)."""
+        values = (
+            self.link1_treated,
+            self.link1_control,
+            self.link2_treated,
+            self.link2_control,
+        )
+        ref = reference if reference is not None else min(values)
+        if ref == 0:
+            raise ZeroDivisionError("cannot normalize by a zero reference")
+        return CellMeans(self.metric, *(v / ref for v in values))
+
+    @property
+    def approximate_tte(self) -> float:
+        """TTE read off the cells: link-1 treated minus link-2 control."""
+        return self.link1_treated - self.link2_control
+
+    @property
+    def spillover(self) -> float:
+        """Spillover read off the cells: link-1 control minus link-2 control."""
+        return self.link1_control - self.link2_control
+
+    @property
+    def naive_high(self) -> float:
+        """Naive A/B effect within link 1 (the 95 % test)."""
+        return self.link1_treated - self.link1_control
+
+    @property
+    def naive_low(self) -> float:
+        """Naive A/B effect within link 2 (the 5 % test)."""
+        return self.link2_treated - self.link2_control
+
+
+@dataclass
+class PairedLinkOutcome:
+    """Everything produced by one run of the paired-link experiment."""
+
+    config: WorkloadConfig
+    design: PairedLinkDesign
+    days: tuple[int, ...]
+    baseline_days: tuple[int, ...]
+    baseline_table: OutcomeTable
+    experiment_table: OutcomeTable
+    aa_table: OutcomeTable
+    baselines: dict[str, float]
+    estimates: dict[str, dict[str, MetricEstimate]]
+
+    # -- Figure 5 -----------------------------------------------------------------
+
+    def figure5_rows(self) -> list[dict[str, object]]:
+        """Rows of Figure 5: per metric, the four estimates in percent."""
+        rows: list[dict[str, object]] = []
+        for metric in SESSION_METRICS:
+            row: dict[str, object] = {"metric": metric}
+            for estimand in FIGURE5_ESTIMANDS:
+                estimate = self.estimates[estimand][metric]
+                row[estimand] = estimate.relative_percent
+                row[f"{estimand}_ci"] = (
+                    100.0 * estimate.relative.ci_low,
+                    100.0 * estimate.relative.ci_high,
+                )
+            rows.append(row)
+        return rows
+
+    def estimate(self, estimand: str, metric: str) -> MetricEstimate:
+        """One estimate (e.g. ``estimate("tte", "throughput_mbps")``)."""
+        return self.estimates[estimand][metric]
+
+    # -- Figure 6 -----------------------------------------------------------------
+
+    def hourly_throughput_series(
+        self, table: OutcomeTable, day: int
+    ) -> dict[int, dict[int, float]]:
+        """Mean client throughput per (link, hour) for one day, normalized.
+
+        Returns ``series[link][hour]`` normalized by the largest hourly mean
+        across both links, matching the paper's Figure 6 presentation.
+        """
+        day_table = table.where(day=day)
+        raw: dict[int, dict[int, float]] = {}
+        largest = 0.0
+        for link in (self.design.treated_link, self.design.control_link):
+            link_table = day_table.where(link=link)
+            per_hour = link_table.groupby_mean("hour", "throughput_mbps")
+            raw[link] = {int(h): v for h, v in per_hour.items()}
+            if per_hour:
+                largest = max(largest, max(per_hour.values()))
+        if largest <= 0:
+            raise ValueError(f"no throughput data for day {day}")
+        return {
+            link: {h: v / largest for h, v in hours.items()} for link, hours in raw.items()
+        }
+
+    def figure6_series(self, saturday_day: int | None = None) -> dict[str, dict[int, dict[int, float]]]:
+        """Baseline vs experiment Saturday throughput time series (Figure 6)."""
+        if saturday_day is None:
+            saturday_day = self._first_weekend_day(self.days)
+        baseline_saturday = self._first_weekend_day(self.baseline_days)
+        return {
+            "baseline": self.hourly_throughput_series(self.baseline_table, baseline_saturday),
+            "experiment": self.hourly_throughput_series(self.experiment_table, saturday_day),
+        }
+
+    def _first_weekend_day(self, days: Sequence[int]) -> int:
+        for day in days:
+            if self.config.demand.is_weekend(int(day)):
+                return int(day)
+        return int(list(days)[-1])
+
+    # -- Figures 7 and 8 -------------------------------------------------------------
+
+    def cell_means(self, metric: str) -> CellMeans:
+        """Mean of a metric in the four (link, arm) cells."""
+        t = self.experiment_table
+        link1, link2 = self.design.treated_link, self.design.control_link
+        return CellMeans(
+            metric=metric,
+            link1_treated=t.where(link=link1, treated=1).mean(metric),
+            link1_control=t.where(link=link1, treated=0).mean(metric),
+            link2_treated=t.where(link=link2, treated=1).mean(metric),
+            link2_control=t.where(link=link2, treated=0).mean(metric),
+        )
+
+    def figure7_cells(self) -> CellMeans:
+        """Average throughput per cell (Figure 7)."""
+        return self.cell_means("throughput_mbps")
+
+    def figure8_cells(self) -> CellMeans:
+        """Average minimum RTT per cell, normalized to the smallest (Figure 8)."""
+        return self.cell_means("min_rtt_ms").normalized()
+
+    # -- Figure 9 ---------------------------------------------------------------------
+
+    def figure9_retransmit_split(
+        self, peak_hours: Sequence[int] = tuple(range(18, 23))
+    ) -> dict[str, float]:
+        """Relative change in retransmitted-byte fraction, peak vs off-peak.
+
+        Compares capped traffic on link 1 against uncapped traffic on link 2
+        (the TTE comparison) separately for peak and off-peak hours.
+        """
+        peak_set = {int(h) for h in peak_hours}
+        t = self.experiment_table
+        link1, link2 = self.design.treated_link, self.design.control_link
+        hours = t["hour"].astype(int)
+        in_peak = np.isin(hours, np.array(sorted(peak_set)))
+
+        def mean_fraction(link: int, treated: int, peak: bool) -> float:
+            subset = t.select(
+                (t["link"].astype(int) == link)
+                & (t["treated"].astype(int) == treated)
+                & (in_peak == peak)
+            )
+            return subset.mean("retransmit_fraction")
+
+        result: dict[str, float] = {}
+        for label, peak in (("peak", True), ("off_peak", False)):
+            treated_mean = mean_fraction(link1, 1, peak)
+            control_mean = mean_fraction(link2, 0, peak)
+            result[label] = (treated_mean - control_mean) / control_mean
+        overall = self.estimates["tte"]["retransmit_fraction"]
+        result["overall"] = overall.relative.estimate
+        return result
+
+    # -- Figure 13 -----------------------------------------------------------------------
+
+    def figure13_ci_comparison(
+        self, metrics: Sequence[str] = SESSION_METRICS
+    ) -> dict[str, dict[str, MetricEstimate]]:
+        """Naive 95 % A/B effects under hourly vs account-level aggregation."""
+        link1 = self.design.treated_link
+        table = self.experiment_table.where(link=link1)
+        treated = table.where(treated=1)
+        control = table.where(treated=0)
+        from repro.core.analysis.pipeline import analyze_metric
+
+        out: dict[str, dict[str, MetricEstimate]] = {"hourly": {}, "account": {}}
+        for metric in metrics:
+            baseline = self.baselines[metric]
+            out["hourly"][metric] = analyze_metric(
+                treated,
+                control,
+                metric,
+                "ab_0.95_hourly",
+                baseline=baseline,
+                config=AnalysisConfig(aggregation="hourly"),
+            )
+            out["account"][metric] = analyze_metric(
+                treated,
+                control,
+                metric,
+                "ab_0.95_account",
+                baseline=baseline,
+                config=AnalysisConfig(aggregation="account"),
+            )
+        return out
+
+
+@dataclass
+class PairedLinkExperiment:
+    """Configuration and runner for the full paired-link protocol.
+
+    Parameters
+    ----------
+    config:
+        Workload configuration (session volumes, congestion model, seeds).
+    design:
+        The paired-link design (allocations and which link is which).
+    days:
+        Days of the main experiment (paper: Wednesday-Sunday, five days).
+    baseline_days:
+        Days of the pre-experiment baseline week.
+    aa_days:
+        Days of the post-experiment A/A week.
+    analysis:
+        Statistical analysis configuration.
+    """
+
+    config: WorkloadConfig = field(default_factory=WorkloadConfig)
+    design: PairedLinkDesign = field(default_factory=PairedLinkDesign)
+    days: tuple[int, ...] = (0, 1, 2, 3, 4)
+    baseline_days: tuple[int, ...] = (0, 1, 2, 3, 4, 5, 6)
+    aa_days: tuple[int, ...] = (0, 1, 2, 3, 4)
+    analysis: AnalysisConfig = field(default_factory=AnalysisConfig)
+
+    def run(self) -> PairedLinkOutcome:
+        """Run baseline, main experiment and A/A weeks, then analyze."""
+        workload = PairedLinkWorkload(self.config)
+        links = self.config.links
+
+        baseline_table = workload.generate_baseline(self.baseline_days)
+        plan = self.design.allocation_plan(links, self.days)
+        experiment_table = workload.generate(plan, self.days, treatment_active=True)
+        aa_table = workload.generate_aa_test(self.aa_days)
+
+        # Normalize everything by the global control condition: the control
+        # sessions on the mostly-uncapped link (Appendix B.1).
+        global_control = experiment_table.where(
+            link=self.design.control_link, treated=0
+        )
+        baselines = {metric: global_control.mean(metric) for metric in SESSION_METRICS}
+
+        result = ExperimentResult(self.design, experiment_table, tuple(links), self.days)
+        estimates = evaluate_design(
+            result, metrics=SESSION_METRICS, baselines=baselines, config=self.analysis
+        )
+
+        return PairedLinkOutcome(
+            config=self.config,
+            design=self.design,
+            days=self.days,
+            baseline_days=self.baseline_days,
+            baseline_table=baseline_table,
+            experiment_table=experiment_table,
+            aa_table=aa_table,
+            baselines=baselines,
+            estimates=estimates,
+        )

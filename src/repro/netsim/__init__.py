@@ -1,0 +1,34 @@
+"""Network simulation substrates.
+
+Two simulators back the lab experiments of Section 3:
+
+``repro.netsim.fluid``
+    A fluid (steady-state) bottleneck-sharing model.  Each application's
+    long-term throughput share is computed from well-established fairness
+    results (Reno's per-connection fairness, paced-vs-unpaced competition,
+    BBR's aggregate share against loss-based traffic), and retransmission
+    rates follow the TCP loss-throughput relationship.  This is the fast
+    substrate used by the figure-reproduction benchmarks.
+
+``repro.netsim.packet``
+    A packet-level discrete-event simulator with a drop-tail bottleneck
+    queue and simplified Reno, Cubic and BBR senders (optionally paced).
+    It reproduces the same sharing behaviour from first principles and is
+    used for validation and ablation benchmarks.
+"""
+
+from repro.netsim.fluid import (
+    Application,
+    BottleneckLink,
+    LabSweepResult,
+    run_lab_experiment,
+    run_lab_sweep,
+)
+
+__all__ = [
+    "Application",
+    "BottleneckLink",
+    "LabSweepResult",
+    "run_lab_experiment",
+    "run_lab_sweep",
+]

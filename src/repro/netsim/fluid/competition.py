@@ -1,0 +1,197 @@
+"""Bandwidth-sharing and loss models for the fluid simulator.
+
+The fluid model computes long-term average behaviour of long-lived flows
+sharing one bottleneck.  It encodes three well-established empirical
+results that the paper's lab experiments rest on:
+
+1. **Per-connection fairness of loss-based TCP.**  ``n`` identical
+   loss-based connections each receive ``C / n``; an application opening
+   two connections receives twice the throughput of one opening a single
+   connection (Balakrishnan et al. 1998, Briscoe 2007).
+
+2. **Unpaced traffic outcompetes paced traffic.**  A paced Reno connection
+   sharing a drop-tail bottleneck with unpaced Reno connections obtains a
+   substantially lower share (Aggarwal et al. 2000, Wei et al. 2006); the
+   paper's lab measures roughly 50 % lower throughput.
+
+3. **BBR's aggregate share against loss-based traffic is roughly
+   independent of flow counts.**  With a ~1 BDP buffer, the BBR aggregate
+   claims a fixed fraction of the link when competing against Cubic,
+   regardless of how many flows are on each side (Ware et al. 2019).
+
+Retransmission rates come from the square-root TCP loss-throughput
+relationship: a loss-based connection running at rate ``r`` over round-trip
+time ``RTT`` with segment size ``S`` experiences a loss probability of
+about ``1.5 (S / (RTT * r))^2``.  Pacing reduces the drop rate further by
+removing burst losses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.netsim.fluid.application import Application
+from repro.netsim.fluid.link import BITS_PER_BYTE, BottleneckLink
+
+__all__ = ["CompetitionModel", "allocate_throughput", "link_loss_rate"]
+
+
+@dataclass(frozen=True)
+class CompetitionModel:
+    """Parameters of the fluid sharing and loss models.
+
+    Attributes
+    ----------
+    paced_weight:
+        Relative competitive weight of a paced loss-based connection against
+        an unpaced one (0.5 reproduces the ~50 % lower throughput the paper
+        measures).
+    bbr_aggregate_share:
+        Fraction of the link the BBR aggregate claims when at least one BBR
+        flow competes with at least one loss-based flow (Ware et al. report
+        ~0.35-0.45 for 1-BDP buffers).
+    pacing_loss_floor:
+        Fraction of the baseline loss rate that remains when all traffic is
+        paced (burst losses eliminated, only congestive losses remain).
+    cubic_weight:
+        Relative competitive weight of a Cubic connection against Reno.
+        Kept at 1.0: the paper's lab never mixes the two directly.
+    """
+
+    paced_weight: float = 0.5
+    bbr_aggregate_share: float = 0.4
+    pacing_loss_floor: float = 0.25
+    cubic_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.paced_weight <= 1.0:
+            raise ValueError("paced_weight must be in (0, 1]")
+        if not 0.0 < self.bbr_aggregate_share < 1.0:
+            raise ValueError("bbr_aggregate_share must be in (0, 1)")
+        if not 0.0 < self.pacing_loss_floor <= 1.0:
+            raise ValueError("pacing_loss_floor must be in (0, 1]")
+        if self.cubic_weight <= 0.0:
+            raise ValueError("cubic_weight must be positive")
+
+    def connection_weight(self, app: Application) -> float:
+        """Competitive weight of one of the application's connections."""
+        weight = 1.0
+        if app.cc == "cubic":
+            weight *= self.cubic_weight
+        if app.paced and app.is_loss_based:
+            weight *= self.paced_weight
+        return weight
+
+
+def _split_capacity(
+    link: BottleneckLink,
+    applications: Sequence[Application],
+    model: CompetitionModel,
+) -> tuple[float, float, int, float]:
+    """Split capacity between the BBR aggregate and the loss-based aggregate.
+
+    Returns ``(bbr_capacity_mbps, loss_capacity_mbps, n_bbr_connections,
+    total_loss_weight)``.
+    """
+    n_bbr_connections = sum(a.connections for a in applications if a.cc == "bbr")
+    loss_weight = sum(
+        a.connections * model.connection_weight(a)
+        for a in applications
+        if a.is_loss_based
+    )
+    capacity = link.capacity_mbps
+    if n_bbr_connections > 0 and loss_weight > 0:
+        bbr_capacity = capacity * model.bbr_aggregate_share
+        loss_capacity = capacity - bbr_capacity
+    elif n_bbr_connections > 0:
+        bbr_capacity, loss_capacity = capacity, 0.0
+    else:
+        bbr_capacity, loss_capacity = 0.0, capacity
+    return bbr_capacity, loss_capacity, n_bbr_connections, loss_weight
+
+
+def allocate_throughput(
+    link: BottleneckLink,
+    applications: Sequence[Application],
+    model: CompetitionModel | None = None,
+) -> dict[int, float]:
+    """Long-term average throughput (Mb/s) of each application.
+
+    The allocation first splits capacity between the BBR aggregate and the
+    loss-based aggregate (see :class:`CompetitionModel`), then divides each
+    aggregate among its connections in proportion to their competitive
+    weights, and finally sums an application's connections.
+    """
+    if not applications:
+        raise ValueError("at least one application is required")
+    ids = [a.app_id for a in applications]
+    if len(set(ids)) != len(ids):
+        raise ValueError("application ids must be unique")
+    model = model or CompetitionModel()
+
+    bbr_capacity, loss_capacity, n_bbr, loss_weight = _split_capacity(
+        link, applications, model
+    )
+
+    throughput: dict[int, float] = {}
+    for app in applications:
+        if app.cc == "bbr":
+            per_connection = bbr_capacity / n_bbr if n_bbr else 0.0
+            throughput[app.app_id] = per_connection * app.connections
+        else:
+            weight = app.connections * model.connection_weight(app)
+            share = weight / loss_weight if loss_weight else 0.0
+            throughput[app.app_id] = loss_capacity * share
+    return throughput
+
+
+def link_loss_rate(
+    link: BottleneckLink,
+    applications: Sequence[Application],
+    model: CompetitionModel | None = None,
+) -> float:
+    """Steady-state packet loss (retransmission) rate at the bottleneck.
+
+    All flows cross the same drop-tail queue, so every application observes
+    (approximately) the same loss rate — this is why the within-test
+    retransmission comparison in the paper's lab A/B tests shows no
+    difference between arms even when the total loss rate changes a lot
+    with the treatment allocation.
+
+    The rate is the TCP loss-throughput relationship evaluated at the mean
+    per-connection rate of the loss-based aggregate, scaled down as the
+    fraction of paced bytes grows (pacing removes burst drops).  When only
+    BBR traffic is present, the loss rate is BBR's ~2x-BDP overshoot loss,
+    which is small for a 1-BDP buffer.
+    """
+    if not applications:
+        raise ValueError("at least one application is required")
+    model = model or CompetitionModel()
+
+    throughput = allocate_throughput(link, applications, model)
+    loss_based = [a for a in applications if a.is_loss_based]
+    if not loss_based:
+        # BBR-only: losses come from BBR's periodic probing overshooting the
+        # 1-BDP buffer; small and independent of the number of flows.
+        return 0.001
+
+    total_loss_connections = sum(a.connections for a in loss_based)
+    total_loss_throughput = sum(throughput[a.app_id] for a in loss_based)
+    per_connection_mbps = total_loss_throughput / total_loss_connections
+    if per_connection_mbps <= 0:
+        return 1.0
+
+    rtt_s = link.base_rtt_ms / 1000.0
+    segment_bits = link.mtu_bytes * BITS_PER_BYTE
+    rate_bps = per_connection_mbps * 1e6
+    # Square-root model: rate = S/RTT * sqrt(3/2p)  =>  p = 1.5 (S/(RTT r))^2
+    p = 1.5 * (segment_bits / (rtt_s * rate_bps)) ** 2
+    p = min(p, 1.0)
+
+    paced_bytes = sum(throughput[a.app_id] for a in loss_based if a.paced)
+    paced_fraction = paced_bytes / total_loss_throughput if total_loss_throughput else 0.0
+    burst_factor = model.pacing_loss_floor + (1.0 - model.pacing_loss_floor) * (
+        1.0 - paced_fraction
+    )
+    return p * burst_factor

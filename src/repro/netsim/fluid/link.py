@@ -1,0 +1,82 @@
+"""The bottleneck link of the lab testbed.
+
+The paper's lab has a single congestion point: the switch port facing the
+receiving server, a 10 Gb/s link with a buffer of one bandwidth-delay
+product and roughly 1 ms of base round-trip time.  :class:`BottleneckLink`
+captures the static parameters of that bottleneck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BottleneckLink"]
+
+#: Bits per byte, used in BDP calculations.
+BITS_PER_BYTE = 8
+
+
+@dataclass(frozen=True)
+class BottleneckLink:
+    """A single bottleneck link shared by all experimental traffic.
+
+    Parameters
+    ----------
+    capacity_gbps:
+        Link capacity in gigabits per second (paper: 10 Gb/s).
+    base_rtt_ms:
+        Round-trip propagation delay in milliseconds when queues are empty
+        (paper: ~1 ms added with ``tc``).
+    buffer_bdp:
+        Buffer size expressed in bandwidth-delay products (paper: 1 BDP).
+    mtu_bytes:
+        Maximum transmission unit in bytes (paper: 9000-byte jumbo frames).
+    """
+
+    capacity_gbps: float = 10.0
+    base_rtt_ms: float = 1.0
+    buffer_bdp: float = 1.0
+    mtu_bytes: int = 9000
+
+    def __post_init__(self) -> None:
+        if self.capacity_gbps <= 0:
+            raise ValueError("capacity_gbps must be positive")
+        if self.base_rtt_ms <= 0:
+            raise ValueError("base_rtt_ms must be positive")
+        if self.buffer_bdp < 0:
+            raise ValueError("buffer_bdp must be non-negative")
+        if self.mtu_bytes <= 0:
+            raise ValueError("mtu_bytes must be positive")
+
+    @property
+    def capacity_mbps(self) -> float:
+        """Capacity in megabits per second."""
+        return self.capacity_gbps * 1000.0
+
+    @property
+    def bdp_bytes(self) -> float:
+        """Bandwidth-delay product in bytes."""
+        return self.capacity_gbps * 1e9 / BITS_PER_BYTE * (self.base_rtt_ms / 1000.0)
+
+    @property
+    def bdp_packets(self) -> float:
+        """Bandwidth-delay product expressed in MTU-sized packets."""
+        return self.bdp_bytes / self.mtu_bytes
+
+    @property
+    def buffer_bytes(self) -> float:
+        """Buffer size in bytes."""
+        return self.buffer_bdp * self.bdp_bytes
+
+    @property
+    def max_queueing_delay_ms(self) -> float:
+        """Queueing delay when the buffer is full, in milliseconds."""
+        if self.capacity_gbps == 0:
+            return 0.0
+        return self.buffer_bytes * BITS_PER_BYTE / (self.capacity_gbps * 1e9) * 1000.0
+
+    def fair_share_mbps(self, n_flows: int) -> float:
+        """Equal-share throughput per flow for ``n_flows`` identical flows."""
+        if n_flows <= 0:
+            raise ValueError("n_flows must be positive")
+        return self.capacity_mbps / n_flows

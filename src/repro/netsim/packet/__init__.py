@@ -1,0 +1,35 @@
+"""Packet-level discrete-event network simulator.
+
+This substrate reproduces the lab testbed of Section 3 from first
+principles: senders with simplified Reno, Cubic or BBR congestion control
+(optionally paced) share a drop-tail bottleneck queue; throughput and
+retransmissions are measured per flow.
+
+The simulator is intentionally compact — it models exactly what the
+paper's lab experiments exercise (window dynamics, ack clocking, drop-tail
+losses, pacing, BBR's rate-based probing) and nothing else (no SACK, no
+delayed acks, no slow-start restart).  It exists to validate the fluid
+model's sharing behaviour and to support ablation benchmarks.
+
+Public entry point: :func:`repro.netsim.packet.simulation.simulate`.
+"""
+
+from repro.netsim.packet.engine import EventScheduler
+from repro.netsim.packet.queue import DropTailQueue
+from repro.netsim.packet.simulation import FlowConfig, PacketSimResult, simulate
+from repro.netsim.packet.sweep import PacketSweepResult, run_packet_sweep
+from repro.netsim.packet.tcp import BBRSender, CubicSender, RenoSender, TcpSender
+
+__all__ = [
+    "EventScheduler",
+    "DropTailQueue",
+    "FlowConfig",
+    "PacketSimResult",
+    "simulate",
+    "PacketSweepResult",
+    "run_packet_sweep",
+    "BBRSender",
+    "CubicSender",
+    "RenoSender",
+    "TcpSender",
+]

@@ -1,0 +1,91 @@
+"""Discrete-event scheduling engine.
+
+A minimal, dependency-free event scheduler built on a binary heap.  Events
+are ``(time, sequence, callback)`` tuples; the sequence number breaks ties
+so that events scheduled earlier run earlier and comparison never falls
+through to the (non-comparable) callback.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+
+__all__ = ["EventScheduler"]
+
+
+class EventScheduler:
+    """A simple discrete-event scheduler.
+
+    Example
+    -------
+    >>> sched = EventScheduler()
+    >>> fired = []
+    >>> sched.schedule(1.0, lambda: fired.append("a"))
+    >>> sched.schedule(0.5, lambda: fired.append("b"))
+    >>> sched.run(until=2.0)
+    >>> fired
+    ['b', 'a']
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._cancelled: set[int] = set()
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def schedule(self, time: float, callback: Callable[[], None]) -> int:
+        """Schedule ``callback`` to run at absolute ``time``.
+
+        Returns an event id usable with :meth:`cancel`.  Scheduling in the
+        past raises ``ValueError``.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule an event at {time} before current time {self._now}"
+            )
+        event_id = next(self._counter)
+        heapq.heappush(self._heap, (float(time), event_id, callback))
+        return event_id
+
+    def schedule_in(self, delay: float, callback: Callable[[], None]) -> int:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule(self._now + delay, callback)
+
+    def cancel(self, event_id: int) -> None:
+        """Cancel a previously scheduled event (lazily, at pop time)."""
+        self._cancelled.add(event_id)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def run(self, until: float) -> None:
+        """Run events in time order until the clock reaches ``until``."""
+        while self._heap and self._heap[0][0] <= until:
+            time, event_id, callback = heapq.heappop(self._heap)
+            if event_id in self._cancelled:
+                self._cancelled.discard(event_id)
+                continue
+            self._now = time
+            callback()
+        self._now = max(self._now, until)
+
+    def step(self) -> bool:
+        """Run a single event.  Returns False when no events remain."""
+        while self._heap:
+            time, event_id, callback = heapq.heappop(self._heap)
+            if event_id in self._cancelled:
+                self._cancelled.discard(event_id)
+                continue
+            self._now = time
+            callback()
+            return True
+        return False

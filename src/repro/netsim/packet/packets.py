@@ -1,0 +1,33 @@
+"""Packet representation for the packet-level simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Packet"]
+
+
+@dataclass
+class Packet:
+    """A data packet in flight.
+
+    Attributes
+    ----------
+    flow_id:
+        Identifier of the sending flow.
+    sequence:
+        Sequence number of the packet within its flow (counts packets, not
+        bytes).
+    size_bytes:
+        Packet size in bytes (MTU-sized for bulk transfers).
+    send_time:
+        Simulation time at which the sender transmitted the packet.
+    is_retransmission:
+        True when the packet retransmits previously lost data.
+    """
+
+    flow_id: int
+    sequence: int
+    size_bytes: int
+    send_time: float
+    is_retransmission: bool = False

@@ -1,0 +1,123 @@
+"""Drop-tail bottleneck queue.
+
+The congestion point of the lab testbed: a FIFO queue draining at the link
+rate, with a finite buffer.  Packets arriving to a full buffer are dropped.
+The queue reports each packet's departure (delivery toward the receiver)
+and each drop to callbacks supplied by the simulation, and keeps counters
+used by the result metrics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+
+from repro.netsim.packet.engine import EventScheduler
+from repro.netsim.packet.packets import Packet
+
+__all__ = ["DropTailQueue"]
+
+
+class DropTailQueue:
+    """A FIFO drop-tail queue served at a fixed rate.
+
+    Parameters
+    ----------
+    scheduler:
+        The event scheduler driving the simulation.
+    rate_bps:
+        Drain (link) rate in bits per second.
+    buffer_bytes:
+        Maximum number of bytes the queue can hold (excluding the packet
+        currently being transmitted).
+    on_departure:
+        Callback invoked as ``on_departure(packet, departure_time)`` when a
+        packet finishes transmission.
+    on_drop:
+        Callback invoked as ``on_drop(packet, drop_time)`` when a packet is
+        dropped on arrival.
+    """
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        rate_bps: float,
+        buffer_bytes: float,
+        on_departure: Callable[[Packet, float], None],
+        on_drop: Callable[[Packet, float], None],
+    ):
+        if rate_bps <= 0:
+            raise ValueError("rate_bps must be positive")
+        if buffer_bytes < 0:
+            raise ValueError("buffer_bytes must be non-negative")
+        self._scheduler = scheduler
+        self._rate_bps = float(rate_bps)
+        self._buffer_bytes = float(buffer_bytes)
+        self._on_departure = on_departure
+        self._on_drop = on_drop
+
+        self._queue: deque[Packet] = deque()
+        self._queued_bytes = 0.0
+        self._busy = False
+
+        #: Total packets that entered service.
+        self.packets_served = 0
+        #: Total packets dropped at the tail.
+        self.packets_dropped = 0
+        #: Total bytes that entered service.
+        self.bytes_served = 0.0
+        #: Maximum queue occupancy observed, in bytes.
+        self.max_occupancy_bytes = 0.0
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def occupancy_bytes(self) -> float:
+        """Bytes currently waiting in the buffer (excludes packet in service)."""
+        return self._queued_bytes
+
+    @property
+    def rate_bps(self) -> float:
+        """Drain rate in bits per second."""
+        return self._rate_bps
+
+    def queueing_delay(self) -> float:
+        """Expected waiting time for a packet arriving now, in seconds."""
+        return self._queued_bytes * 8.0 / self._rate_bps
+
+    def transmission_time(self, packet: Packet) -> float:
+        """Serialization time of one packet at the link rate, in seconds."""
+        return packet.size_bytes * 8.0 / self._rate_bps
+
+    # -- operations -----------------------------------------------------------
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Offer a packet to the queue.  Returns True if accepted, False if dropped."""
+        now = self._scheduler.now
+        if self._busy and self._queued_bytes + packet.size_bytes > self._buffer_bytes:
+            self.packets_dropped += 1
+            self._on_drop(packet, now)
+            return False
+        if self._busy:
+            self._queue.append(packet)
+            self._queued_bytes += packet.size_bytes
+            self.max_occupancy_bytes = max(self.max_occupancy_bytes, self._queued_bytes)
+        else:
+            self._start_service(packet)
+        return True
+
+    def _start_service(self, packet: Packet) -> None:
+        self._busy = True
+        self.packets_served += 1
+        self.bytes_served += packet.size_bytes
+        finish = self._scheduler.now + self.transmission_time(packet)
+        self._scheduler.schedule(finish, lambda p=packet: self._finish_service(p))
+
+    def _finish_service(self, packet: Packet) -> None:
+        self._on_departure(packet, self._scheduler.now)
+        if self._queue:
+            next_packet = self._queue.popleft()
+            self._queued_bytes -= next_packet.size_bytes
+            self._start_service(next_packet)
+        else:
+            self._busy = False

@@ -1,0 +1,30 @@
+"""Simplified TCP congestion-control senders for the packet simulator.
+
+* :class:`~repro.netsim.packet.tcp.base.TcpSender` — common machinery:
+  window/inflight accounting, ack clocking, optional pacing, retransmission
+  bookkeeping.
+* :class:`~repro.netsim.packet.tcp.reno.RenoSender` — AIMD (slow start +
+  congestion avoidance, multiplicative decrease 0.5).
+* :class:`~repro.netsim.packet.tcp.cubic.CubicSender` — cubic window growth
+  with multiplicative decrease 0.7.
+* :class:`~repro.netsim.packet.tcp.bbr.BBRSender` — simplified BBRv1:
+  delivery-rate and min-RTT estimation, startup/drain/probe-bandwidth gain
+  cycling, rate-based pacing, loss-agnostic.
+"""
+
+from repro.netsim.packet.tcp.base import TcpSender
+from repro.netsim.packet.tcp.reno import RenoSender
+from repro.netsim.packet.tcp.cubic import CubicSender
+from repro.netsim.packet.tcp.bbr import BBRSender
+
+__all__ = ["TcpSender", "RenoSender", "CubicSender", "BBRSender"]
+
+
+def make_sender(cc: str, *args, **kwargs) -> TcpSender:
+    """Construct a sender by congestion-control name (``reno``/``cubic``/``bbr``)."""
+    registry = {"reno": RenoSender, "cubic": CubicSender, "bbr": BBRSender}
+    try:
+        cls = registry[cc]
+    except KeyError:
+        raise ValueError(f"unknown congestion control {cc!r}; expected one of {sorted(registry)}") from None
+    return cls(*args, **kwargs)

@@ -1,0 +1,260 @@
+"""Common sender machinery shared by all congestion-control algorithms.
+
+The sender models a bulk transfer with unlimited data: it always has
+packets to send and is only limited by its congestion window (and, when
+pacing is enabled, its pacing rate).  The surrounding simulation delivers
+two kinds of feedback:
+
+* :meth:`TcpSender.handle_ack` when a packet was delivered (one RTT after
+  it left the bottleneck, including any queueing delay it experienced);
+* :meth:`TcpSender.handle_loss` when a packet was dropped at the bottleneck
+  (notification arrives roughly one RTT later, standing in for duplicate
+  ACK detection).
+
+Subclasses implement :meth:`TcpSender.on_ack` and :meth:`TcpSender.on_loss`
+to update the congestion window, and may override
+:meth:`TcpSender.current_pacing_rate_bps` to pace at an algorithm-specific
+rate (BBR always paces; Reno/Cubic pace only when Linux-style ``fq`` pacing
+is enabled for the flow).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.netsim.packet.engine import EventScheduler
+from repro.netsim.packet.packets import Packet
+
+__all__ = ["TcpSender"]
+
+
+class TcpSender:
+    """Base class for simplified TCP senders.
+
+    Parameters
+    ----------
+    flow_id:
+        Identifier of the flow.
+    scheduler:
+        The simulation's event scheduler.
+    transmit:
+        Callable that injects a packet into the network (the bottleneck
+        queue in the single-link topology).
+    mss_bytes:
+        Segment size in bytes.
+    base_rtt_s:
+        Two-way propagation delay, in seconds, excluding queueing.
+    paced:
+        Whether the flow paces its packets (Linux ``fq`` style) instead of
+        sending ack-clocked bursts.
+    initial_cwnd:
+        Initial congestion window in packets.
+    """
+
+    #: Pacing-rate multiple of cwnd/RTT used during congestion avoidance by
+    #: Linux's TCP pacing (tcp_input.c): 1.2 in CA, 2.0 in slow start.
+    CA_PACING_GAIN = 1.2
+    SS_PACING_GAIN = 2.0
+
+    def __init__(
+        self,
+        flow_id: int,
+        scheduler: EventScheduler,
+        transmit: Callable[[Packet], None],
+        mss_bytes: int = 1500,
+        base_rtt_s: float = 0.02,
+        paced: bool = False,
+        initial_cwnd: float = 10.0,
+    ):
+        if mss_bytes <= 0:
+            raise ValueError("mss_bytes must be positive")
+        if base_rtt_s <= 0:
+            raise ValueError("base_rtt_s must be positive")
+        if initial_cwnd < 1:
+            raise ValueError("initial_cwnd must be at least one packet")
+        self.flow_id = flow_id
+        self.scheduler = scheduler
+        self.transmit = transmit
+        self.mss_bytes = int(mss_bytes)
+        self.base_rtt_s = float(base_rtt_s)
+        self.paced = bool(paced)
+
+        # Congestion state.
+        self.cwnd = float(initial_cwnd)
+        self.ssthresh = float("inf")
+        self.inflight = 0
+        self.srtt = base_rtt_s
+        self.min_rtt = float("inf")
+
+        # Sequence / retransmission bookkeeping.
+        self.next_sequence = 0
+        self._pending_retransmissions = 0
+
+        # Counters (lifetime).
+        self.packets_sent = 0
+        self.packets_acked = 0
+        self.packets_lost = 0
+        self.packets_retransmitted = 0
+        self.bytes_sent = 0
+        self.bytes_acked = 0
+        self.bytes_retransmitted = 0
+
+        # Counters at the start of the measurement window.
+        self._measure_start_time = 0.0
+        self._bytes_acked_at_start = 0
+        self._bytes_sent_at_start = 0
+        self._bytes_retx_at_start = 0
+
+        # Pacing state.
+        self._next_pacing_time = 0.0
+        self._pacing_timer_armed = False
+
+        self._started = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin transmitting (sends the initial window)."""
+        self._started = True
+        self._try_send()
+
+    def begin_measurement(self) -> None:
+        """Mark the start of the throughput/retransmission measurement window."""
+        self._measure_start_time = self.scheduler.now
+        self._bytes_acked_at_start = self.bytes_acked
+        self._bytes_sent_at_start = self.bytes_sent
+        self._bytes_retx_at_start = self.bytes_retransmitted
+
+    # -- metrics ---------------------------------------------------------------
+
+    def goodput_mbps(self, end_time: float | None = None) -> float:
+        """Acked throughput over the measurement window, in Mb/s."""
+        end = end_time if end_time is not None else self.scheduler.now
+        elapsed = end - self._measure_start_time
+        if elapsed <= 0:
+            return 0.0
+        delivered = self.bytes_acked - self._bytes_acked_at_start
+        return delivered * 8.0 / elapsed / 1e6
+
+    def retransmit_fraction(self) -> float:
+        """Fraction of sent bytes that were retransmissions, over the window."""
+        sent = self.bytes_sent - self._bytes_sent_at_start
+        if sent <= 0:
+            return 0.0
+        retx = self.bytes_retransmitted - self._bytes_retx_at_start
+        return retx / sent
+
+    # -- hooks for subclasses ---------------------------------------------------
+
+    def on_ack(self, packet: Packet, rtt_sample: float) -> None:
+        """Update congestion state after a successful delivery."""
+        raise NotImplementedError
+
+    def on_loss(self, packet: Packet) -> None:
+        """Update congestion state after a loss."""
+        raise NotImplementedError
+
+    @property
+    def in_slow_start(self) -> bool:
+        """True while the window is below the slow-start threshold."""
+        return self.cwnd < self.ssthresh
+
+    def current_pacing_rate_bps(self) -> float:
+        """Pacing rate for paced flows (Linux-style multiple of cwnd/RTT)."""
+        gain = self.SS_PACING_GAIN if self.in_slow_start else self.CA_PACING_GAIN
+        rtt = self.srtt if self.srtt > 0 else self.base_rtt_s
+        return gain * self.cwnd * self.mss_bytes * 8.0 / rtt
+
+    def window_limit(self) -> int:
+        """Maximum number of packets allowed in flight right now."""
+        return max(int(self.cwnd), 1)
+
+    # -- feedback from the network ----------------------------------------------
+
+    def handle_ack(self, packet: Packet, rtt_sample: float) -> None:
+        """Process an acknowledgment for ``packet``."""
+        self.packets_acked += 1
+        self.bytes_acked += packet.size_bytes
+        self.inflight = max(self.inflight - 1, 0)
+        if rtt_sample > 0:
+            self.min_rtt = min(self.min_rtt, rtt_sample)
+            # Standard EWMA with alpha = 1/8.
+            self.srtt = 0.875 * self.srtt + 0.125 * rtt_sample
+        self.on_ack(packet, rtt_sample)
+        self._try_send()
+
+    def handle_loss(self, packet: Packet) -> None:
+        """Process a loss notification for ``packet``."""
+        self.packets_lost += 1
+        self.inflight = max(self.inflight - 1, 0)
+        self._pending_retransmissions += 1
+        self.on_loss(packet)
+        self._try_send()
+
+    # -- transmission -------------------------------------------------------------
+
+    def _build_packet(self) -> Packet:
+        if self._pending_retransmissions > 0:
+            self._pending_retransmissions -= 1
+            retransmission = True
+        else:
+            retransmission = False
+        packet = Packet(
+            flow_id=self.flow_id,
+            sequence=self.next_sequence,
+            size_bytes=self.mss_bytes,
+            send_time=self.scheduler.now,
+            is_retransmission=retransmission,
+        )
+        self.next_sequence += 1
+        return packet
+
+    def _send_one(self) -> None:
+        packet = self._build_packet()
+        self.packets_sent += 1
+        self.bytes_sent += packet.size_bytes
+        if packet.is_retransmission:
+            self.packets_retransmitted += 1
+            self.bytes_retransmitted += packet.size_bytes
+        self.inflight += 1
+        self.transmit(packet)
+
+    def _can_send(self) -> bool:
+        return self._started and self.inflight < self.window_limit()
+
+    def _try_send(self) -> None:
+        """Send as many packets as the window (and pacing) currently allows."""
+        if not self._started:
+            return
+        if self.paced:
+            self._try_send_paced()
+        else:
+            while self._can_send():
+                self._send_one()
+
+    def _try_send_paced(self) -> None:
+        if self._pacing_timer_armed:
+            return
+        if not self._can_send():
+            return
+        now = self.scheduler.now
+        send_at = max(now, self._next_pacing_time)
+        if send_at <= now:
+            self._send_paced_packet()
+        else:
+            self._pacing_timer_armed = True
+            self.scheduler.schedule(send_at, self._pacing_timer_fired)
+
+    def _pacing_timer_fired(self) -> None:
+        self._pacing_timer_armed = False
+        if self._can_send():
+            self._send_paced_packet()
+
+    def _send_paced_packet(self) -> None:
+        self._send_one()
+        rate = max(self.current_pacing_rate_bps(), 1.0)
+        interval = self.mss_bytes * 8.0 / rate
+        self._next_pacing_time = self.scheduler.now + interval
+        if self._can_send():
+            self._pacing_timer_armed = True
+            self.scheduler.schedule(self._next_pacing_time, self._pacing_timer_fired)

@@ -1,0 +1,73 @@
+"""TCP Cubic congestion control (simplified).
+
+Cubic grows the window as a cubic function of the time since the last loss
+event:
+
+.. math:: W(t) = C (t - K)^3 + W_{max}, \\qquad K = \\sqrt[3]{W_{max} \\beta / C}
+
+where ``W_max`` is the window at the last loss, ``beta = 0.3`` is the
+multiplicative-decrease fraction (window shrinks to 0.7 W_max) and
+``C = 0.4`` is the standard aggressiveness constant.  Slow start behaves
+like Reno.  TCP-friendliness (the Reno-emulation lower bound) is included
+because it dominates at small windows.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.packet.packets import Packet
+from repro.netsim.packet.tcp.base import TcpSender
+
+__all__ = ["CubicSender"]
+
+
+class CubicSender(TcpSender):
+    """Cubic window growth with multiplicative decrease 0.7."""
+
+    #: Cubic aggressiveness constant (packets / s^3).
+    C = 0.4
+    #: Multiplicative decrease: window shrinks to (1 - BETA) * W_max.
+    BETA = 0.3
+    #: Minimum congestion window, in packets.
+    MIN_CWND = 2.0
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._w_max = self.cwnd
+        self._epoch_start: float | None = None
+        self._k = 0.0
+        # Reno-emulation state for the TCP-friendly region.
+        self._w_tcp = self.cwnd
+
+    def _begin_epoch(self) -> None:
+        self._epoch_start = self.scheduler.now
+        self._w_tcp = self.cwnd
+        if self.cwnd < self._w_max:
+            self._k = ((self._w_max - self.cwnd) / self.C) ** (1.0 / 3.0)
+        else:
+            self._k = 0.0
+            self._w_max = self.cwnd
+
+    def on_ack(self, packet: Packet, rtt_sample: float) -> None:
+        if self.in_slow_start:
+            self.cwnd += 1.0
+            return
+        if self._epoch_start is None:
+            self._begin_epoch()
+        t = self.scheduler.now - (self._epoch_start or self.scheduler.now)
+        target = self.C * (t - self._k) ** 3 + self._w_max
+        # TCP-friendly region: emulate Reno's average growth rate.
+        rtt = self.srtt if self.srtt > 0 else self.base_rtt_s
+        self._w_tcp += 3.0 * self.BETA / (2.0 - self.BETA) / max(self.cwnd, 1.0)
+        target = max(target, self._w_tcp)
+        if target > self.cwnd:
+            # Spread the increase over the acks of one RTT.
+            self.cwnd += (target - self.cwnd) / max(self.cwnd, 1.0)
+        else:
+            self.cwnd += 0.01 / max(self.cwnd, 1.0)
+        del rtt
+
+    def on_loss(self, packet: Packet) -> None:
+        self._w_max = self.cwnd
+        self.cwnd = max(self.cwnd * (1.0 - self.BETA), self.MIN_CWND)
+        self.ssthresh = self.cwnd
+        self._epoch_start = None

@@ -1,0 +1,33 @@
+"""TCP Reno (NewReno-style) congestion control.
+
+Slow start doubles the window every round trip (one packet per ack);
+congestion avoidance adds one packet per round trip (``1/cwnd`` per ack);
+a loss halves the window and sets the slow-start threshold to the new
+window (fast-recovery style, no timeout modelling).
+"""
+
+from __future__ import annotations
+
+from repro.netsim.packet.packets import Packet
+from repro.netsim.packet.tcp.base import TcpSender
+
+__all__ = ["RenoSender"]
+
+
+class RenoSender(TcpSender):
+    """Additive-increase / multiplicative-decrease (factor 0.5) sender."""
+
+    #: Multiplicative decrease factor applied on loss.
+    BETA = 0.5
+    #: Minimum congestion window, in packets.
+    MIN_CWND = 2.0
+
+    def on_ack(self, packet: Packet, rtt_sample: float) -> None:
+        if self.in_slow_start:
+            self.cwnd += 1.0
+        else:
+            self.cwnd += 1.0 / max(self.cwnd, 1.0)
+
+    def on_loss(self, packet: Packet) -> None:
+        self.ssthresh = max(self.cwnd * self.BETA, self.MIN_CWND)
+        self.cwnd = self.ssthresh

@@ -1,0 +1,120 @@
+"""Link-hour congestion model.
+
+The peering link congests when the aggregate offered load approaches its
+capacity: a standing queue builds, latency rises, loss appears, and every
+session's achievable throughput drops.  Crucially, the congestion state is
+a function of the *total* load on the link — capped and uncapped sessions
+sharing a link therefore experience (nearly) the same conditions, which is
+the interference pathway that biases naive A/B tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LinkHourState", "CongestionModel"]
+
+
+@dataclass(frozen=True)
+class LinkHourState:
+    """Congestion conditions on one link during one hour.
+
+    Attributes
+    ----------
+    utilization:
+        Offered load divided by capacity.
+    congested:
+        True when the link is in its congested regime.
+    throughput_factor:
+        Fraction of a session's uncongested throughput actually achievable
+        (1.0 when uncongested, ``capacity / offered`` when overloaded).
+    queueing_delay_ms:
+        Standing-queue delay added to every packet's RTT.
+    loss_rate:
+        Fraction of bytes lost (and therefore retransmitted) due to
+        congestion, excluding the transmission-error floor.
+    """
+
+    utilization: float
+    congested: bool
+    throughput_factor: float
+    queueing_delay_ms: float
+    loss_rate: float
+
+
+@dataclass(frozen=True)
+class CongestionModel:
+    """Maps offered load on a link to that hour's congestion state.
+
+    Parameters
+    ----------
+    capacity_gbps:
+        Link capacity (paper: 100 Gb/s peering links).
+    congestion_onset_utilization:
+        Utilization above which the standing queue starts to build.
+    max_queueing_delay_ms:
+        Queueing delay when the link is heavily overloaded (deep buffers on
+        peering routers produce tens of milliseconds of standing queue).
+    max_congestion_loss:
+        Congestive loss rate in the heavily overloaded regime.
+    overload_scale:
+        Amount of overload (utilization above onset) at which delay and
+        loss reach roughly two thirds of their maxima.
+    throughput_degradation_exponent:
+        Exponent applied to ``1 / utilization`` when the link is overloaded.
+        The value 1 corresponds to pure fair sharing of the capacity;
+        values above 1 capture the additional per-session degradation a
+        congested video workload experiences (timeouts, ramp-up losses,
+        head-of-line blocking), matching the sharp peak-hour throughput
+        drop visible in the paper's Figure 6.
+    """
+
+    capacity_gbps: float = 100.0
+    congestion_onset_utilization: float = 0.88
+    max_queueing_delay_ms: float = 85.0
+    max_congestion_loss: float = 0.003
+    overload_scale: float = 0.15
+    throughput_degradation_exponent: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_gbps <= 0:
+            raise ValueError("capacity_gbps must be positive")
+        if not 0.0 < self.congestion_onset_utilization <= 1.0:
+            raise ValueError("congestion_onset_utilization must be in (0, 1]")
+        if self.max_queueing_delay_ms < 0:
+            raise ValueError("max_queueing_delay_ms must be non-negative")
+        if not 0.0 <= self.max_congestion_loss < 1.0:
+            raise ValueError("max_congestion_loss must be in [0, 1)")
+        if self.overload_scale <= 0:
+            raise ValueError("overload_scale must be positive")
+        if self.throughput_degradation_exponent < 1.0:
+            raise ValueError("throughput_degradation_exponent must be at least 1")
+
+    def state_for_load(self, offered_gbps: float) -> LinkHourState:
+        """Congestion state when ``offered_gbps`` of traffic wants the link."""
+        if offered_gbps < 0:
+            raise ValueError("offered load must be non-negative")
+        utilization = offered_gbps / self.capacity_gbps
+        onset = self.congestion_onset_utilization
+        if utilization <= onset:
+            return LinkHourState(
+                utilization=utilization,
+                congested=False,
+                throughput_factor=1.0,
+                queueing_delay_ms=0.0,
+                loss_rate=0.0,
+            )
+        # Overload regime: throughput degrades as capacity / offered, and the
+        # standing queue / loss saturate smoothly with the amount of overload.
+        overload = utilization - onset
+        saturation = overload / (overload + self.overload_scale)
+        throughput_factor = min(
+            1.0, (1.0 / utilization) ** self.throughput_degradation_exponent
+        )
+        return LinkHourState(
+            utilization=utilization,
+            congested=True,
+            throughput_factor=throughput_factor,
+            queueing_delay_ms=self.max_queueing_delay_ms * saturation,
+            loss_rate=self.max_congestion_loss * saturation,
+        )

@@ -1,0 +1,104 @@
+"""Diurnal demand model.
+
+Video-streaming demand follows a strong daily pattern: load builds through
+the afternoon, peaks in the evening ("peak hours", when the peering links
+congest), and collapses overnight.  Weekends carry more daytime traffic
+than weekdays — the seasonality that biases event studies in the paper's
+Section 5.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["DiurnalDemandModel", "DEFAULT_HOURLY_SHAPE"]
+
+#: Relative demand by hour of day (0-23), normalized to peak = 1.0.
+#: Shape: quiet overnight, ramp through the afternoon, evening peak.
+DEFAULT_HOURLY_SHAPE: tuple[float, ...] = (
+    0.22, 0.16, 0.12, 0.10, 0.09, 0.10,  # 00-05
+    0.13, 0.18, 0.25, 0.32, 0.38, 0.44,  # 06-11
+    0.50, 0.55, 0.58, 0.62, 0.68, 0.76,  # 12-17
+    0.86, 0.95, 1.00, 0.98, 0.80, 0.45,  # 18-23
+)
+
+
+@dataclass(frozen=True)
+class DiurnalDemandModel:
+    """Hourly demand multipliers with a weekday/weekend distinction.
+
+    Parameters
+    ----------
+    hourly_shape:
+        24 relative demand levels, one per hour of day.
+    weekend_factor:
+        Multiplier applied to every hour of a weekend day (weekends carry
+        more traffic, especially during the day).
+    weekend_daytime_boost:
+        Additional multiplier applied to weekend daytime hours (10-18),
+        making the weekend shape genuinely different from weekdays rather
+        than just scaled — this is what breaks event studies.
+    start_weekday:
+        Weekday of experiment day 0 (0=Monday ... 6=Sunday).  The paper's
+        experiment ran Wednesday through Sunday, so the default is 2.
+    """
+
+    hourly_shape: tuple[float, ...] = DEFAULT_HOURLY_SHAPE
+    weekend_factor: float = 1.12
+    weekend_daytime_boost: float = 1.15
+    start_weekday: int = 2
+
+    def __post_init__(self) -> None:
+        if len(self.hourly_shape) != 24:
+            raise ValueError("hourly_shape must contain exactly 24 values")
+        if any(v < 0 for v in self.hourly_shape):
+            raise ValueError("hourly demand values must be non-negative")
+        if max(self.hourly_shape) <= 0:
+            raise ValueError("at least one hour must have positive demand")
+        if not 0 <= self.start_weekday <= 6:
+            raise ValueError("start_weekday must be in 0..6")
+
+    def weekday_of(self, day: int) -> int:
+        """Weekday (0=Monday ... 6=Sunday) of experiment day ``day``."""
+        return (self.start_weekday + int(day)) % 7
+
+    def is_weekend(self, day: int) -> bool:
+        """True when experiment day ``day`` falls on Saturday or Sunday."""
+        return self.weekday_of(day) >= 5
+
+    def relative_demand(self, day: int, hour: int) -> float:
+        """Relative demand (peak weekday evening = 1.0) for a (day, hour)."""
+        if not 0 <= hour < 24:
+            raise ValueError("hour must be in 0..23")
+        level = self.hourly_shape[hour]
+        if self.is_weekend(day):
+            level *= self.weekend_factor
+            if 10 <= hour <= 18:
+                level *= self.weekend_daytime_boost
+        return float(level)
+
+    def peak_relative_demand(self) -> float:
+        """Largest relative demand over a weekday (used for calibration)."""
+        return float(max(self.hourly_shape))
+
+    def sessions_in_hour(
+        self,
+        day: int,
+        hour: int,
+        sessions_at_peak: float,
+        rng: np.random.Generator | None = None,
+    ) -> int:
+        """Number of sessions arriving in a given (day, hour).
+
+        The expected count is ``sessions_at_peak`` scaled by the relative
+        demand; the realized count is Poisson-distributed when ``rng`` is
+        given, otherwise the expectation is rounded.
+        """
+        if sessions_at_peak < 0:
+            raise ValueError("sessions_at_peak must be non-negative")
+        expected = sessions_at_peak * self.relative_demand(day, hour)
+        if rng is None:
+            return int(round(expected))
+        return int(rng.poisson(expected))

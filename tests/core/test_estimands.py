@@ -1,0 +1,135 @@
+"""Tests for repro.core.estimands: potential-outcome curves and estimands."""
+
+import pytest
+
+from repro.core.estimands import EstimandSet, PotentialOutcomeCurve, sutva_holds
+
+
+def interference_curve():
+    """A curve shaped like the paper's Figure 1b (interference present)."""
+    # Treatment gets 2x the control's share at any interior allocation, but
+    # both converge to 1.0 at the endpoints (like the connections test).
+    mu_t = {0.1: 1.8, 0.5: 1.4, 0.9: 1.05, 1.0: 1.0}
+    mu_c = {0.0: 1.0, 0.1: 0.9, 0.5: 0.7, 0.9: 0.55}
+    return PotentialOutcomeCurve("throughput", mu_t, mu_c)
+
+
+def flat_curve():
+    """A curve consistent with SUTVA (Figure 1a)."""
+    mu_t = {0.1: 2.0, 0.5: 2.0, 1.0: 2.0}
+    mu_c = {0.0: 1.0, 0.5: 1.0, 0.9: 1.0}
+    return PotentialOutcomeCurve("metric", mu_t, mu_c)
+
+
+class TestCurveConstruction:
+    def test_requires_treatment_means(self):
+        with pytest.raises(ValueError):
+            PotentialOutcomeCurve("m", {}, {0.0: 1.0})
+
+    def test_requires_control_means(self):
+        with pytest.raises(ValueError):
+            PotentialOutcomeCurve("m", {1.0: 1.0}, {})
+
+    def test_treatment_at_zero_invalid(self):
+        with pytest.raises(ValueError):
+            PotentialOutcomeCurve("m", {0.0: 1.0}, {0.0: 1.0})
+
+    def test_control_at_one_invalid(self):
+        with pytest.raises(ValueError):
+            PotentialOutcomeCurve("m", {1.0: 1.0}, {1.0: 1.0})
+
+    def test_allocations_sorted_union(self):
+        curve = interference_curve()
+        assert curve.allocations == sorted(set(curve.allocations))
+        assert 0.0 in curve.allocations and 1.0 in curve.allocations
+
+
+class TestCurveAccess:
+    def test_exact_lookup(self):
+        curve = interference_curve()
+        assert curve.mu_treatment(0.5) == pytest.approx(1.4)
+        assert curve.mu_control(0.5) == pytest.approx(0.7)
+
+    def test_interpolation(self):
+        curve = interference_curve()
+        assert 1.4 < curve.mu_treatment(0.3) < 1.8
+
+    def test_out_of_range_raises(self):
+        curve = interference_curve()
+        with pytest.raises(ValueError):
+            curve.mu_treatment(0.01)
+
+
+class TestEstimands:
+    def test_ate(self):
+        curve = interference_curve()
+        assert curve.ate(0.5) == pytest.approx(0.7)
+
+    def test_tte(self):
+        assert interference_curve().tte() == pytest.approx(0.0)
+
+    def test_tte_requires_endpoints(self):
+        curve = PotentialOutcomeCurve("m", {0.5: 1.0}, {0.0: 1.0})
+        with pytest.raises(ValueError):
+            curve.tte()
+
+    def test_spillover(self):
+        curve = interference_curve()
+        assert curve.spillover(0.9) == pytest.approx(0.55 - 1.0)
+
+    def test_spillover_undefined_at_full_allocation(self):
+        with pytest.raises(ValueError):
+            interference_curve().spillover(1.0)
+
+    def test_partial_effect(self):
+        curve = interference_curve()
+        assert curve.partial_effect(0.5) == pytest.approx(0.4)
+
+    def test_ab_test_bias(self):
+        curve = interference_curve()
+        assert curve.ab_test_bias(0.5) == pytest.approx(0.7)
+
+    def test_estimand_set(self):
+        es = interference_curve().estimands(0.5)
+        assert isinstance(es, EstimandSet)
+        assert es.ate == pytest.approx(0.7)
+        assert es.tte == pytest.approx(0.0)
+        assert es.ab_test_bias == pytest.approx(0.7)
+
+    def test_estimands_at_full_allocation_have_zero_spillover(self):
+        es = interference_curve().estimands(1.0)
+        assert es.spillover == 0.0
+        assert es.ate == pytest.approx(es.tte)
+
+
+class TestEstimandSet:
+    def test_sign_flip_detection(self):
+        es = EstimandSet("m", 0.05, ate=-0.05, tte=0.12, spillover=0.1, partial_effect=0.1)
+        assert es.sign_flipped
+
+    def test_no_sign_flip_when_same_direction(self):
+        es = EstimandSet("m", 0.05, ate=0.05, tte=0.12, spillover=0.0, partial_effect=0.1)
+        assert not es.sign_flipped
+
+    def test_no_sign_flip_when_zero(self):
+        es = EstimandSet("m", 0.05, ate=0.0, tte=0.12, spillover=0.0, partial_effect=0.1)
+        assert not es.sign_flipped
+
+    def test_bias_zero_when_ab_equals_tte(self):
+        es = EstimandSet("m", 0.5, ate=0.2, tte=0.2, spillover=0.0, partial_effect=0.2)
+        assert es.ab_test_bias == pytest.approx(0.0)
+
+
+class TestSutvaCheck:
+    def test_flat_curve_satisfies_sutva(self):
+        assert sutva_holds(flat_curve())
+
+    def test_interference_curve_violates_sutva(self):
+        assert not sutva_holds(interference_curve())
+
+    def test_relative_tolerance(self):
+        mu_t = {0.5: 100.0, 1.0: 100.4}
+        mu_c = {0.0: 50.0, 0.5: 50.1}
+        curve = PotentialOutcomeCurve("m", mu_t, mu_c)
+        assert not sutva_holds(curve, tolerance=1e-9)
+        assert sutva_holds(curve, tolerance=0.01, relative=True)

@@ -1,0 +1,112 @@
+"""Tests for repro.core.experiment: wiring designs, data and analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.designs import ABTestDesign, PairedLinkDesign
+from repro.core.designs.base import CellSelector, ComparisonSpec
+from repro.core.experiment import (
+    ExperimentResult,
+    evaluate_comparisons,
+    evaluate_design,
+    select_cells,
+)
+from repro.core.units import OutcomeTable
+
+
+def make_table(seed=0, effect_on_link1=3.0):
+    """Two links, two days, 24 hours, with an arm effect only on link 1."""
+    rng = np.random.default_rng(seed)
+    cols = {k: [] for k in ("link", "day", "hour", "treated", "account_id", "value")}
+    for link in (1, 2):
+        for day in (0, 1):
+            for hour in range(24):
+                for arm in (0, 1):
+                    n = 10
+                    effect = effect_on_link1 if (link == 1 and arm == 1) else 0.0
+                    values = rng.normal(10.0 + effect, 1.0, n)
+                    cols["link"].extend([link] * n)
+                    cols["day"].extend([day] * n)
+                    cols["hour"].extend([hour] * n)
+                    cols["treated"].extend([arm] * n)
+                    cols["account_id"].extend(rng.integers(0, 30, n).tolist())
+                    cols["value"].extend(values.tolist())
+    return OutcomeTable({k: np.array(v, dtype=float) for k, v in cols.items()})
+
+
+class TestSelectCells:
+    def test_select_by_link(self):
+        table = make_table()
+        subset = select_cells(table, CellSelector(links=(1,)))
+        assert set(subset["link"].astype(int)) == {1}
+
+    def test_select_by_day_and_arm(self):
+        table = make_table()
+        subset = select_cells(table, CellSelector(days=(0,), treated=True))
+        assert set(subset["day"].astype(int)) == {0}
+        assert set(subset["treated"].astype(int)) == {1}
+
+    def test_wildcard_selects_all(self):
+        table = make_table()
+        assert len(select_cells(table, CellSelector())) == len(table)
+
+
+class TestEvaluateComparisons:
+    def test_recovers_effect(self):
+        table = make_table(effect_on_link1=3.0)
+        spec = ComparisonSpec(
+            estimand="link1_effect",
+            treatment_selector=CellSelector(links=(1,), treated=True),
+            control_selector=CellSelector(links=(1,), treated=False),
+        )
+        results = evaluate_comparisons(table, [spec], metrics=("value",))
+        estimate = results["link1_effect"]["value"]
+        assert estimate.absolute.covers(3.0)
+
+    def test_empty_group_raises(self):
+        table = make_table()
+        spec = ComparisonSpec(
+            estimand="empty",
+            treatment_selector=CellSelector(links=(9,)),
+            control_selector=CellSelector(links=(1,)),
+        )
+        with pytest.raises(ValueError):
+            evaluate_comparisons(table, [spec], metrics=("value",))
+
+    def test_baseline_overrides_normalization(self):
+        table = make_table(effect_on_link1=3.0)
+        spec = ComparisonSpec(
+            estimand="e",
+            treatment_selector=CellSelector(links=(1,), treated=True),
+            control_selector=CellSelector(links=(1,), treated=False),
+        )
+        results = evaluate_comparisons(
+            table, [spec], metrics=("value",), baselines={"value": 100.0}
+        )
+        assert results["e"]["value"].baseline == pytest.approx(100.0)
+
+
+class TestEvaluateDesign:
+    def test_ab_design_end_to_end(self):
+        table = make_table(effect_on_link1=3.0)
+        design = ABTestDesign(0.5)
+        result = ExperimentResult(design, table, (1, 2), (0, 1))
+        estimates = evaluate_design(result, metrics=("value",))
+        # The pooled A/B effect over both links is about half the link-1 effect.
+        assert estimates["ab_0.5"]["value"].absolute.estimate == pytest.approx(
+            1.5, abs=0.5
+        )
+
+    def test_paired_link_design_estimands_present(self):
+        table = make_table(effect_on_link1=3.0)
+        design = PairedLinkDesign()
+        result = ExperimentResult(design, table, (1, 2), (0, 1))
+        estimates = evaluate_design(result, metrics=("value",))
+        assert set(estimates) == {"tte", "spillover", "ab_0.95", "ab_0.05"}
+
+    def test_comparisons_use_run_days(self):
+        table = make_table()
+        design = PairedLinkDesign()
+        result = ExperimentResult(design, table, (1, 2), (0,))
+        for spec in result.comparisons():
+            assert spec.treatment_selector.days == (0,)

@@ -1,0 +1,280 @@
+"""Tests for the fluid bottleneck-sharing simulator."""
+
+import pytest
+
+from repro.core.estimands import sutva_holds
+from repro.netsim.fluid import (
+    Application,
+    BottleneckLink,
+    allocate_throughput,
+    link_loss_rate,
+    run_lab_experiment,
+    run_lab_sweep,
+)
+from repro.netsim.fluid.competition import CompetitionModel
+from repro.netsim.fluid.lab import run_isolated_sweep
+
+
+class TestBottleneckLink:
+    def test_defaults_match_paper_testbed(self):
+        link = BottleneckLink()
+        assert link.capacity_gbps == 10.0
+        assert link.base_rtt_ms == 1.0
+        assert link.mtu_bytes == 9000
+
+    def test_capacity_mbps(self):
+        assert BottleneckLink(capacity_gbps=10).capacity_mbps == 10000.0
+
+    def test_bdp(self):
+        link = BottleneckLink(capacity_gbps=10, base_rtt_ms=1)
+        assert link.bdp_bytes == pytest.approx(10e9 / 8 * 1e-3)
+        assert link.bdp_packets == pytest.approx(link.bdp_bytes / 9000)
+
+    def test_buffer_and_queueing_delay(self):
+        link = BottleneckLink(buffer_bdp=1.0)
+        assert link.buffer_bytes == pytest.approx(link.bdp_bytes)
+        assert link.max_queueing_delay_ms == pytest.approx(link.base_rtt_ms)
+
+    def test_fair_share(self):
+        assert BottleneckLink().fair_share_mbps(10) == pytest.approx(1000.0)
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            BottleneckLink(capacity_gbps=0)
+        with pytest.raises(ValueError):
+            BottleneckLink(base_rtt_ms=-1)
+        with pytest.raises(ValueError):
+            BottleneckLink().fair_share_mbps(0)
+
+
+class TestApplication:
+    def test_unknown_cc_raises(self):
+        with pytest.raises(ValueError):
+            Application(0, cc="vegas")
+
+    def test_zero_connections_raise(self):
+        with pytest.raises(ValueError):
+            Application(0, connections=0)
+
+    def test_arm_flipping(self):
+        app = Application(0)
+        assert app.as_treated().treated
+        assert not app.as_treated().as_control().treated
+
+    def test_loss_based_classification(self):
+        assert Application(0, cc="reno").is_loss_based
+        assert Application(0, cc="cubic").is_loss_based
+        assert not Application(0, cc="bbr").is_loss_based
+
+
+class TestCompetitionModel:
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            CompetitionModel(paced_weight=0.0)
+        with pytest.raises(ValueError):
+            CompetitionModel(bbr_aggregate_share=1.0)
+        with pytest.raises(ValueError):
+            CompetitionModel(pacing_loss_floor=0.0)
+
+    def test_connection_weights(self):
+        model = CompetitionModel(paced_weight=0.5)
+        assert model.connection_weight(Application(0, cc="reno")) == 1.0
+        assert model.connection_weight(Application(0, cc="reno", paced=True)) == 0.5
+        # Pacing does not change BBR's weight (BBR always paces anyway).
+        assert model.connection_weight(Application(0, cc="bbr", paced=True)) == 1.0
+
+
+class TestThroughputAllocation:
+    def test_equal_flows_share_equally(self):
+        apps = [Application(i, cc="reno") for i in range(10)]
+        shares = allocate_throughput(BottleneckLink(), apps)
+        for value in shares.values():
+            assert value == pytest.approx(1000.0)
+
+    def test_total_never_exceeds_capacity(self):
+        apps = [Application(i, cc="reno", connections=1 + i % 3) for i in range(7)]
+        shares = allocate_throughput(BottleneckLink(), apps)
+        assert sum(shares.values()) == pytest.approx(10000.0)
+
+    def test_two_connections_double_throughput(self):
+        apps = [Application(0, connections=2)] + [
+            Application(i, connections=1) for i in range(1, 10)
+        ]
+        shares = allocate_throughput(BottleneckLink(), apps)
+        assert shares[0] == pytest.approx(2 * shares[1])
+
+    def test_paced_gets_half_of_unpaced(self):
+        apps = [Application(0, paced=True)] + [Application(i) for i in range(1, 10)]
+        shares = allocate_throughput(BottleneckLink(), apps)
+        assert shares[0] == pytest.approx(0.5 * shares[1])
+
+    def test_all_paced_equals_all_unpaced(self):
+        paced = [Application(i, paced=True) for i in range(10)]
+        unpaced = [Application(i, paced=False) for i in range(10)]
+        link = BottleneckLink()
+        assert allocate_throughput(link, paced)[0] == pytest.approx(
+            allocate_throughput(link, unpaced)[0]
+        )
+
+    def test_bbr_aggregate_share_independent_of_flow_count(self):
+        link, model = BottleneckLink(), CompetitionModel(bbr_aggregate_share=0.4)
+        one_bbr = [Application(0, cc="bbr")] + [Application(i, cc="cubic") for i in range(1, 10)]
+        many_bbr = [Application(i, cc="bbr") for i in range(9)] + [Application(9, cc="cubic")]
+        shares_one = allocate_throughput(link, one_bbr, model)
+        shares_many = allocate_throughput(link, many_bbr, model)
+        bbr_total_one = shares_one[0]
+        bbr_total_many = sum(shares_many[i] for i in range(9))
+        assert bbr_total_one == pytest.approx(4000.0)
+        assert bbr_total_many == pytest.approx(4000.0)
+
+    def test_all_bbr_shares_equally(self):
+        apps = [Application(i, cc="bbr") for i in range(10)]
+        shares = allocate_throughput(BottleneckLink(), apps)
+        for value in shares.values():
+            assert value == pytest.approx(1000.0)
+
+    def test_duplicate_ids_raise(self):
+        with pytest.raises(ValueError):
+            allocate_throughput(BottleneckLink(), [Application(0), Application(0)])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            allocate_throughput(BottleneckLink(), [])
+
+
+class TestLossRate:
+    def test_more_connections_more_loss(self):
+        link = BottleneckLink()
+        one = [Application(i, connections=1) for i in range(10)]
+        two = [Application(i, connections=2) for i in range(10)]
+        assert link_loss_rate(link, two) > link_loss_rate(link, one)
+
+    def test_all_paced_reduces_loss(self):
+        link = BottleneckLink()
+        unpaced = [Application(i) for i in range(10)]
+        paced = [Application(i, paced=True) for i in range(10)]
+        model = CompetitionModel(pacing_loss_floor=0.25)
+        assert link_loss_rate(link, paced, model) == pytest.approx(
+            0.25 * link_loss_rate(link, unpaced, model)
+        )
+
+    def test_loss_identical_for_all_apps_in_one_run(self):
+        # The loss rate is a link property, not a per-application property.
+        result = run_lab_experiment(
+            [Application(0, connections=2).as_treated()]
+            + [Application(i) for i in range(1, 10)]
+        )
+        values = set(round(v, 12) for v in result.retransmit_fraction.values())
+        assert len(values) == 1
+
+    def test_bbr_only_loss_is_small(self):
+        apps = [Application(i, cc="bbr") for i in range(10)]
+        assert link_loss_rate(BottleneckLink(), apps) <= 0.01
+
+    def test_loss_bounded_by_one(self):
+        tiny = BottleneckLink(capacity_gbps=0.001)
+        apps = [Application(i, connections=4) for i in range(10)]
+        assert link_loss_rate(tiny, apps) <= 1.0
+
+
+class TestLabSweep:
+    def test_sweep_covers_all_allocations(self):
+        sweep = run_lab_sweep(
+            10,
+            lambda i: Application(i, connections=2),
+            lambda i: Application(i, connections=1),
+        )
+        assert sorted(sweep.results) == list(range(11))
+        assert sweep.allocations[0] == 0.0 and sweep.allocations[-1] == 1.0
+
+    def test_connections_tte_is_zero_for_throughput(self):
+        sweep = run_lab_sweep(
+            10,
+            lambda i: Application(i, connections=2),
+            lambda i: Application(i, connections=1),
+        )
+        assert sweep.tte("throughput_mbps") == pytest.approx(0.0, abs=1e-6)
+
+    def test_connections_ab_estimate_is_double_throughput(self):
+        sweep = run_lab_sweep(
+            10,
+            lambda i: Application(i, connections=2),
+            lambda i: Application(i, connections=1),
+        )
+        curve = sweep.curve("throughput_mbps")
+        for p in (0.1, 0.5, 0.9):
+            assert curve.mu_treatment(p) == pytest.approx(2 * curve.mu_control(p))
+
+    def test_connections_retransmit_tte_positive(self):
+        sweep = run_lab_sweep(
+            10,
+            lambda i: Application(i, connections=2),
+            lambda i: Application(i, connections=1),
+        )
+        assert sweep.tte("retransmit_fraction") > 0.0
+
+    def test_connections_spillover_negative_for_control_throughput(self):
+        sweep = run_lab_sweep(
+            10,
+            lambda i: Application(i, connections=2),
+            lambda i: Application(i, connections=1),
+        )
+        assert sweep.spillover("throughput_mbps", 0.9) < 0.0
+
+    def test_sweep_violates_sutva(self):
+        sweep = run_lab_sweep(
+            10,
+            lambda i: Application(i, connections=2),
+            lambda i: Application(i, connections=1),
+        )
+        assert not sutva_holds(sweep.curve("throughput_mbps"), tolerance=0.01, relative=True)
+
+    def test_ab_estimates_only_interior_allocations(self):
+        sweep = run_lab_sweep(
+            4, lambda i: Application(i, connections=2), lambda i: Application(i)
+        )
+        estimates = sweep.ab_estimates("throughput_mbps")
+        assert set(estimates) == {0.25, 0.5, 0.75}
+
+    def test_noise_is_reproducible(self):
+        kwargs = dict(noise=0.02, seed=42)
+        a = run_lab_sweep(5, lambda i: Application(i, connections=2), lambda i: Application(i), **kwargs)
+        b = run_lab_sweep(5, lambda i: Application(i, connections=2), lambda i: Application(i), **kwargs)
+        assert a.curve("throughput_mbps").mu_treatment(0.4) == pytest.approx(
+            b.curve("throughput_mbps").mu_treatment(0.4)
+        )
+
+    def test_invalid_n_units_raises(self):
+        with pytest.raises(ValueError):
+            run_lab_sweep(0, lambda i: Application(i), lambda i: Application(i))
+
+
+class TestIsolatedSweep:
+    def test_isolated_sweep_satisfies_sutva(self):
+        sweep = run_isolated_sweep(
+            5,
+            lambda i: Application(i, connections=2),
+            lambda i: Application(i, connections=1),
+        )
+        assert sutva_holds(sweep.curve("throughput_mbps"), tolerance=0.01, relative=True)
+
+    def test_isolated_tte_equals_ab_estimate(self):
+        sweep = run_isolated_sweep(
+            5,
+            lambda i: Application(i, connections=2),
+            lambda i: Application(i, connections=1),
+        )
+        curve = sweep.curve("throughput_mbps")
+        assert curve.tte() == pytest.approx(curve.ate(0.4), abs=1e-6)
+
+
+class TestLabExperimentResult:
+    def test_group_mean_requires_members(self):
+        result = run_lab_experiment([Application(0).as_control()])
+        with pytest.raises(ValueError):
+            result.group_mean("throughput_mbps", treated=True)
+
+    def test_unknown_metric_raises(self):
+        result = run_lab_experiment([Application(0).as_control()])
+        with pytest.raises(KeyError):
+            result.group_values("nope", treated=False)

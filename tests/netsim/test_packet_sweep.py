@@ -1,0 +1,65 @@
+"""Tests for the packet-level allocation sweep harness."""
+
+import pytest
+
+from repro.netsim.packet.simulation import FlowConfig
+from repro.netsim.packet.sweep import run_packet_sweep
+
+
+@pytest.fixture(scope="module")
+def connection_sweep():
+    """A small connections sweep: endpoints plus the 50% allocation."""
+    return run_packet_sweep(
+        4,
+        treatment_factory=lambda i: FlowConfig(i, cc="reno", connections=2),
+        control_factory=lambda i: FlowConfig(i, cc="reno", connections=1),
+        allocations=(0, 2, 4),
+        capacity_mbps=30.0,
+        duration_s=12.0,
+        warmup_s=4.0,
+    )
+
+
+class TestPacketSweep:
+    def test_requested_allocations_present(self, connection_sweep):
+        assert sorted(connection_sweep.results) == [0, 2, 4]
+
+    def test_curve_endpoints_defined(self, connection_sweep):
+        curve = connection_sweep.curve("throughput_mbps")
+        assert 0.0 in [p for p in curve.allocations]
+        assert 1.0 in [p for p in curve.allocations]
+
+    def test_ab_estimate_shows_connection_advantage(self, connection_sweep):
+        ab = connection_sweep.ab_estimate("throughput_mbps", 0.5)
+        control = connection_sweep.curve("throughput_mbps").mu_control(0.5)
+        assert ab / control > 0.4  # treated apps get a clear advantage
+
+    def test_throughput_tte_is_small(self, connection_sweep):
+        tte = connection_sweep.tte("throughput_mbps")
+        baseline = connection_sweep.curve("throughput_mbps").mu_control(0.0)
+        assert abs(tte) / baseline < 0.15
+
+    def test_retransmit_curve_available(self, connection_sweep):
+        curve = connection_sweep.curve("retransmit_fraction")
+        assert curve.mu_control(0.0) >= 0.0
+
+    def test_unknown_metric_raises(self, connection_sweep):
+        with pytest.raises(KeyError):
+            connection_sweep.curve("nope")
+
+    def test_invalid_allocation_raises(self):
+        with pytest.raises(ValueError):
+            run_packet_sweep(
+                2,
+                treatment_factory=lambda i: FlowConfig(i),
+                control_factory=lambda i: FlowConfig(i),
+                allocations=(5,),
+            )
+
+    def test_invalid_n_units_raises(self):
+        with pytest.raises(ValueError):
+            run_packet_sweep(
+                0,
+                treatment_factory=lambda i: FlowConfig(i),
+                control_factory=lambda i: FlowConfig(i),
+            )

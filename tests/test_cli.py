@@ -1,0 +1,41 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import LAB_FIGURES, PAIRED_FIGURES, build_parser, main
+
+
+class TestParser:
+    def test_known_figures_accepted(self):
+        parser = build_parser()
+        for name in list(LAB_FIGURES) + list(PAIRED_FIGURES):
+            args = parser.parse_args([name])
+            assert args.figure == name
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_quick_and_seed_flags(self):
+        args = build_parser().parse_args(["fig5", "--quick", "--seed", "3"])
+        assert args.quick is True
+        assert args.seed == 3
+
+
+class TestCommands:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2a" in out
+        assert "fig5" in out
+
+    def test_lab_figure_command(self, capsys):
+        assert main(["fig2a"]) == 0
+        out = capsys.readouterr().out
+        assert "TTE throughput" in out
+
+    def test_paired_figure_command_quick(self, capsys):
+        assert main(["fig9", "--quick", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "off-peak" in out
+        assert "overall TTE" in out

@@ -1,0 +1,156 @@
+"""Tests for the demand curve, the video/ABR model and the congestion model."""
+
+import numpy as np
+import pytest
+
+from repro.workload.congestion import CongestionModel
+from repro.workload.demand import DEFAULT_HOURLY_SHAPE, DiurnalDemandModel
+from repro.workload.video import (
+    BITRATE_LADDER_KBPS,
+    BitrateCapPolicy,
+    select_bitrate,
+    select_bitrate_array,
+)
+
+
+class TestDiurnalDemand:
+    def test_shape_has_24_hours(self):
+        assert len(DEFAULT_HOURLY_SHAPE) == 24
+
+    def test_wrong_shape_length_raises(self):
+        with pytest.raises(ValueError):
+            DiurnalDemandModel(hourly_shape=(1.0, 2.0))
+
+    def test_peak_is_in_the_evening(self):
+        model = DiurnalDemandModel()
+        peak_hour = max(range(24), key=lambda h: model.relative_demand(0, h))
+        assert 18 <= peak_hour <= 22
+
+    def test_overnight_demand_is_low(self):
+        model = DiurnalDemandModel()
+        assert model.relative_demand(0, 4) < 0.2 * model.peak_relative_demand()
+
+    def test_weekday_weekend_classification(self):
+        # Day 0 is a Wednesday (start_weekday=2): days 3 and 4 are the weekend.
+        model = DiurnalDemandModel()
+        assert [model.is_weekend(d) for d in range(5)] == [False, False, False, True, True]
+
+    def test_weekend_demand_is_higher(self):
+        model = DiurnalDemandModel()
+        assert model.relative_demand(3, 14) > model.relative_demand(0, 14)
+
+    def test_sessions_in_hour_deterministic_without_rng(self):
+        model = DiurnalDemandModel()
+        assert model.sessions_in_hour(0, 20, 100) == round(100 * model.relative_demand(0, 20))
+
+    def test_sessions_in_hour_poisson_with_rng(self):
+        model = DiurnalDemandModel()
+        rng = np.random.default_rng(0)
+        counts = [model.sessions_in_hour(0, 20, 100, rng) for _ in range(50)]
+        assert np.mean(counts) == pytest.approx(100 * model.relative_demand(0, 20), rel=0.1)
+
+    def test_invalid_hour_raises(self):
+        with pytest.raises(ValueError):
+            DiurnalDemandModel().relative_demand(0, 24)
+
+    def test_negative_sessions_raise(self):
+        with pytest.raises(ValueError):
+            DiurnalDemandModel().sessions_in_hour(0, 0, -1)
+
+
+class TestBitrateLadder:
+    def test_ladder_is_sorted(self):
+        assert list(BITRATE_LADDER_KBPS) == sorted(BITRATE_LADDER_KBPS)
+
+    def test_select_bitrate_monotone_in_throughput(self):
+        rates = [select_bitrate(t) for t in (0.5, 2.0, 5.0, 10.0, 50.0)]
+        assert rates == sorted(rates)
+
+    def test_select_bitrate_never_exceeds_budget_when_feasible(self):
+        throughput = 5.0
+        rate = select_bitrate(throughput)
+        assert rate <= throughput * 1000 * 0.8
+
+    def test_select_bitrate_falls_back_to_lowest_rung(self):
+        assert select_bitrate(0.01) == min(BITRATE_LADDER_KBPS)
+
+    def test_select_bitrate_negative_throughput_raises(self):
+        with pytest.raises(ValueError):
+            select_bitrate(-1.0)
+
+    def test_array_version_matches_scalar(self):
+        throughputs = np.array([0.5, 2.0, 5.0, 10.0, 50.0])
+        array = select_bitrate_array(throughputs)
+        scalar = np.array([select_bitrate(t) for t in throughputs])
+        assert np.array_equal(array, scalar)
+
+    def test_empty_ladder_raises(self):
+        with pytest.raises(ValueError):
+            select_bitrate(1.0, ladder=())
+
+
+class TestBitrateCapPolicy:
+    def test_cap_removes_top_rungs(self):
+        ladder = BitrateCapPolicy(cap_kbps=3000).ladder()
+        assert max(ladder) <= 3000
+
+    def test_none_disables_cap(self):
+        assert BitrateCapPolicy(cap_kbps=None).ladder() == BITRATE_LADDER_KBPS
+
+    def test_cap_below_lowest_rung_keeps_lowest(self):
+        ladder = BitrateCapPolicy(cap_kbps=100).ladder()
+        assert ladder == (min(BITRATE_LADDER_KBPS),)
+
+    def test_apply_clamps(self):
+        policy = BitrateCapPolicy(cap_kbps=3000)
+        assert policy.apply(5000) == 3000
+        assert policy.apply(1000) == 1000
+
+    def test_invalid_cap_raises(self):
+        with pytest.raises(ValueError):
+            BitrateCapPolicy(cap_kbps=0)
+
+
+class TestCongestionModel:
+    def test_uncongested_below_onset(self):
+        model = CongestionModel(capacity_gbps=100, congestion_onset_utilization=0.9)
+        state = model.state_for_load(80.0)
+        assert not state.congested
+        assert state.throughput_factor == 1.0
+        assert state.queueing_delay_ms == 0.0
+        assert state.loss_rate == 0.0
+
+    def test_congested_above_onset(self):
+        model = CongestionModel(capacity_gbps=100, congestion_onset_utilization=0.9)
+        state = model.state_for_load(120.0)
+        assert state.congested
+        assert state.throughput_factor < 1.0
+        assert state.queueing_delay_ms > 0.0
+        assert state.loss_rate > 0.0
+
+    def test_monotone_in_load(self):
+        model = CongestionModel()
+        loads = [95.0, 105.0, 120.0, 150.0]
+        states = [model.state_for_load(load) for load in loads]
+        factors = [s.throughput_factor for s in states]
+        delays = [s.queueing_delay_ms for s in states]
+        assert factors == sorted(factors, reverse=True)
+        assert delays == sorted(delays)
+
+    def test_delay_and_loss_bounded_by_maxima(self):
+        model = CongestionModel(max_queueing_delay_ms=85, max_congestion_loss=0.003)
+        state = model.state_for_load(1000.0)
+        assert state.queueing_delay_ms <= 85.0
+        assert state.loss_rate <= 0.003
+
+    def test_negative_load_raises(self):
+        with pytest.raises(ValueError):
+            CongestionModel().state_for_load(-1.0)
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            CongestionModel(capacity_gbps=0)
+        with pytest.raises(ValueError):
+            CongestionModel(congestion_onset_utilization=1.5)
+        with pytest.raises(ValueError):
+            CongestionModel(throughput_degradation_exponent=0.5)

@@ -1,0 +1,82 @@
+"""Property-based tests for the workload substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.congestion import CongestionModel
+from repro.workload.demand import DiurnalDemandModel
+from repro.workload.video import BITRATE_LADDER_KBPS, BitrateCapPolicy, select_bitrate
+
+
+class TestCongestionProperties:
+    @given(
+        load=st.floats(min_value=0.0, max_value=1000.0),
+        onset=st.floats(min_value=0.5, max_value=1.0),
+        exponent=st.floats(min_value=1.0, max_value=4.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_state_fields_are_bounded(self, load, onset, exponent):
+        model = CongestionModel(
+            congestion_onset_utilization=onset,
+            throughput_degradation_exponent=exponent,
+        )
+        state = model.state_for_load(load)
+        assert 0.0 < state.throughput_factor <= 1.0
+        assert 0.0 <= state.queueing_delay_ms <= model.max_queueing_delay_ms
+        assert 0.0 <= state.loss_rate <= model.max_congestion_loss
+        assert state.congested == (load / model.capacity_gbps > onset)
+
+    @given(
+        load_a=st.floats(min_value=0.0, max_value=500.0),
+        load_b=st.floats(min_value=0.0, max_value=500.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_more_load_never_improves_conditions(self, load_a, load_b):
+        model = CongestionModel()
+        low, high = sorted((load_a, load_b))
+        s_low, s_high = model.state_for_load(low), model.state_for_load(high)
+        assert s_high.throughput_factor <= s_low.throughput_factor + 1e-12
+        assert s_high.queueing_delay_ms >= s_low.queueing_delay_ms - 1e-12
+        assert s_high.loss_rate >= s_low.loss_rate - 1e-12
+
+
+class TestDemandProperties:
+    @given(day=st.integers(min_value=0, max_value=30), hour=st.integers(min_value=0, max_value=23))
+    @settings(max_examples=100, deadline=None)
+    def test_relative_demand_positive_and_bounded(self, day, hour):
+        model = DiurnalDemandModel()
+        demand = model.relative_demand(day, hour)
+        assert demand >= 0.0
+        assert demand <= model.peak_relative_demand() * model.weekend_factor * model.weekend_daytime_boost
+
+    @given(day=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=60, deadline=None)
+    def test_weekday_cycle_has_period_seven(self, day):
+        model = DiurnalDemandModel()
+        assert model.weekday_of(day) == model.weekday_of(day + 7)
+        assert model.is_weekend(day) == model.is_weekend(day + 7)
+
+
+class TestVideoProperties:
+    @given(throughput=st.floats(min_value=0.0, max_value=1000.0))
+    @settings(max_examples=100, deadline=None)
+    def test_selected_bitrate_is_a_ladder_rung(self, throughput):
+        assert select_bitrate(throughput) in BITRATE_LADDER_KBPS
+
+    @given(
+        throughput=st.floats(min_value=0.0, max_value=1000.0),
+        cap=st.floats(min_value=200.0, max_value=10000.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_capping_never_increases_bitrate(self, throughput, cap):
+        policy = BitrateCapPolicy(cap_kbps=cap)
+        capped_rate = select_bitrate(throughput, policy.ladder())
+        uncapped_rate = select_bitrate(throughput)
+        assert capped_rate <= uncapped_rate
+
+    @given(cap=st.floats(min_value=1.0, max_value=20000.0))
+    @settings(max_examples=60, deadline=None)
+    def test_capped_ladder_is_never_empty(self, cap):
+        assert len(BitrateCapPolicy(cap_kbps=cap).ladder()) >= 1

@@ -36,7 +36,7 @@ from repro.core.estimators import (
 )
 from repro.core.units import OutcomeTable, Session, Unit
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Assignment",

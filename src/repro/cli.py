@@ -2,13 +2,21 @@
 
 Usage::
 
-    python -m repro list                 # list available figures
-    python -m repro fig2a                # parallel-connections lab figure
-    python -m repro fig5 --quick         # paired-link treatment-effect table
-    python -m repro fig10 --seed 11      # design comparison
+    repro list                       # list available figures
+    repro fig2a                      # parallel-connections lab figure
+    repro fig5 --quick               # paired-link treatment-effect table
+    repro fig10 --seed 11 --jobs 4   # design comparison, 4 worker processes
+    repro sweep fig5 --replications 5 --jobs 4   # multi-seed mean ± CI
 
-Every command prints the same rows/series the corresponding benchmark
-asserts on; ``--quick`` shrinks the synthetic workload for faster runs.
+Every figure command prints the same rows/series the corresponding
+benchmark asserts on; ``--quick`` shrinks the synthetic workload for
+faster runs.  ``--jobs N`` fans independent simulation arms out over N
+worker processes (results are bit-identical to ``--jobs 1``), and
+``--cache`` reuses results of unchanged runs from an on-disk cache.
+
+``repro sweep FIGURE`` runs ``--replications`` seeds of one figure
+through the parallel runner and reports each scalar cell's mean with a
+95 % confidence interval across seeds.
 """
 
 from __future__ import annotations
@@ -16,6 +24,8 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Sequence
+
+import numpy as np
 
 from repro.core.units import SESSION_METRICS
 from repro.experiments import (
@@ -27,6 +37,8 @@ from repro.experiments import (
     run_pacing_experiment,
 )
 from repro.reporting import format_table
+from repro.runner import ParallelExecutor, ResultCache, ScenarioSpec, default_cache_dir
+from repro.runner.tasks import FIGURE_CELL_TASKS
 from repro.workload import WorkloadConfig
 
 __all__ = ["main"]
@@ -42,15 +54,23 @@ LAB_FIGURES = {
 PAIRED_FIGURES = ("baseline", "fig5", "fig7", "fig8", "fig9", "fig10")
 
 
-def _print_lab_figure(name: str) -> None:
-    figure = LAB_FIGURES[name]()
+def _make_cache(args: argparse.Namespace) -> ResultCache | None:
+    if not args.cache:
+        return None
+    return ResultCache(args.cache_dir or default_cache_dir())
+
+
+def _print_lab_figure(name: str, args: argparse.Namespace) -> None:
+    figure = LAB_FIGURES[name](jobs=args.jobs, cache=_make_cache(args))
     print("\n".join(figure.summary_lines()))
 
 
 def _run_paired(args: argparse.Namespace):
     sessions = 150 if args.quick else 300
     config = WorkloadConfig(sessions_at_peak=sessions, seed=args.seed)
-    return PairedLinkExperiment(config=config).run()
+    return PairedLinkExperiment(config=config).run(
+        jobs=args.jobs, cache=_make_cache(args)
+    )
 
 
 def _print_paired_figure(name: str, args: argparse.Namespace) -> None:
@@ -117,6 +137,8 @@ def _print_paired_figure(name: str, args: argparse.Namespace) -> None:
             (0, 1, 2, 3, 4),
             outcome.estimates["tte"],
             baselines=outcome.baselines,
+            jobs=args.jobs,
+            cache=_make_cache(args),
         )
         rows = [
             [
@@ -132,33 +154,131 @@ def _print_paired_figure(name: str, args: argparse.Namespace) -> None:
         raise KeyError(name)
 
 
+def _confidence_half_width(values: np.ndarray, confidence: float = 0.95) -> float:
+    """Half-width of the t-based CI on the mean of ``values``."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    from scipy import stats
+
+    std = float(np.std(values, ddof=1))
+    return float(stats.t.ppf(0.5 + confidence / 2.0, n - 1) * std / np.sqrt(n))
+
+
+def _run_sweep(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    target = args.target
+    if target is None or target not in FIGURE_CELL_TASKS:
+        parser.error(
+            f"'sweep' needs a figure to replicate; choose one of {', '.join(FIGURE_CELL_TASKS)}"
+        )
+    if args.replications < 1:
+        parser.error("--replications must be at least 1")
+
+    # Only include knobs the figure actually consumes: noise applies to lab
+    # figures, quick to paired-link figures.  Keeping inert flags out of the
+    # spec keeps them out of the content key, so they cannot split the cache.
+    params: dict[str, object] = {"figure": target}
+    if target in LAB_FIGURES:
+        params["noise"] = args.noise
+    else:
+        params["quick"] = args.quick
+    specs = [
+        ScenarioSpec(
+            task="figure.cells",
+            params=params,
+            seed=args.seed + r,
+            label=f"sweep[{target}, seed={args.seed + r}]",
+        )
+        for r in range(args.replications)
+    ]
+    executor = ParallelExecutor(jobs=args.jobs, cache=_make_cache(args))
+    replications = executor.map(specs)
+
+    cells = list(replications[0])
+    rows = []
+    for cell in cells:
+        values = np.array([float(rep[cell]) for rep in replications])
+        half = _confidence_half_width(values)
+        rows.append([cell, f"{values.mean():+.3f}", f"±{half:.3f}", str(len(values))])
+    print(
+        f"{target}: {args.replications} replication(s), "
+        f"seeds {args.seed}..{args.seed + args.replications - 1}"
+    )
+    print(format_table(["cell", "mean", "95% CI", "n"], rows))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Reproduce figures from 'Unbiased Experiments in Congested Networks' (IMC 2021).",
+        description=(
+            "Reproduce figures from 'Unbiased Experiments in Congested Networks' (IMC 2021)."
+        ),
     )
     parser.add_argument(
         "figure",
-        choices=["list", *LAB_FIGURES, *PAIRED_FIGURES],
-        help="which figure to reproduce ('list' to enumerate)",
+        choices=["list", "sweep", *LAB_FIGURES, *PAIRED_FIGURES],
+        help="which figure to reproduce ('list' to enumerate, 'sweep' to replicate one)",
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="for 'sweep': the figure to replicate across seeds",
     )
     parser.add_argument(
         "--quick", action="store_true", help="use a smaller synthetic workload"
     )
     parser.add_argument("--seed", type=int, default=7, help="workload random seed")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent simulation arms (default: 1)",
+    )
+    parser.add_argument(
+        "--replications",
+        type=int,
+        default=5,
+        help="number of seeds for 'sweep' (default: 5)",
+    )
+    parser.add_argument(
+        "--noise",
+        type=float,
+        default=0.02,
+        help="measurement-noise level for lab figures under 'sweep' (default: 0.02)",
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="reuse results of unchanged runs from the on-disk cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point.  Returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.target is not None and args.figure != "sweep":
+        parser.error(
+            f"unexpected argument {args.target!r}; only 'sweep' takes a target figure"
+        )
     if args.figure == "list":
         print("lab figures:        " + ", ".join(sorted(LAB_FIGURES)))
         print("paired-link figures: " + ", ".join(PAIRED_FIGURES))
+        print("sweepable figures:   " + ", ".join(FIGURE_CELL_TASKS))
         return 0
+    if args.figure == "sweep":
+        return _run_sweep(args, parser)
     if args.figure in LAB_FIGURES:
-        _print_lab_figure(args.figure)
+        _print_lab_figure(args.figure, args)
     else:
         _print_paired_figure(args.figure, args)
     return 0

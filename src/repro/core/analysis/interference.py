@@ -16,8 +16,8 @@ estimates "disagree" when their intervals do not overlap, and a spillover is
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from collections.abc import Mapping
 
 from repro.core.estimators import EstimateWithCI
 

@@ -18,7 +18,7 @@ harness in :mod:`repro.experiments`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

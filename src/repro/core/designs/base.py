@@ -20,7 +20,7 @@ concrete designs in this package.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from collections.abc import Mapping, Sequence
 
 __all__ = ["CellSelector", "ComparisonSpec", "AllocationPlan", "ExperimentDesign"]

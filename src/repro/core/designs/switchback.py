@@ -18,8 +18,6 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-import numpy as np
-
 from repro.core.assignment import interval_assignment
 from repro.core.designs.base import (
     AllocationPlan,

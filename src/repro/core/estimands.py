@@ -30,8 +30,8 @@ scalar summary used in figures.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from collections.abc import Mapping
 
 import numpy as np
 

@@ -9,7 +9,7 @@ objects — the rows of the paper's Figures 5 and 10.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from collections.abc import Iterable, Sequence
 
 import numpy as np

@@ -22,12 +22,15 @@ no traffic was capped anywhere, and counting false positives.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from collections.abc import Sequence
 
 from repro.core.analysis.pipeline import AnalysisConfig, MetricEstimate, analyze_metric
 from repro.core.designs import EventStudyDesign, SwitchbackDesign
 from repro.core.units import SESSION_METRICS, OutcomeTable
+from repro.runner.cache import ResultCache
+from repro.runner.executor import ParallelExecutor
+from repro.runner.spec import ScenarioSpec
 
 __all__ = [
     "AlternateDesignComparison",
@@ -216,14 +219,37 @@ def compare_designs(
     baselines: dict[str, float] | None = None,
     metrics: Sequence[str] = SESSION_METRICS,
     config: AnalysisConfig | None = None,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    executor: ParallelExecutor | None = None,
 ) -> AlternateDesignComparison:
-    """Build the Figure 10 comparison from one paired-link run."""
-    switchback = emulate_switchback(
-        experiment_table, days, metrics=metrics, baselines=baselines, config=config
+    """Build the Figure 10 comparison from one paired-link run.
+
+    The switchback and event-study emulations are independent analyses of
+    the same table, so they run as two parallel scenario specs when
+    ``jobs > 1``.
+    """
+    common = {
+        "table": experiment_table,
+        "days": tuple(int(d) for d in days),
+        "metrics": tuple(metrics),
+        "baselines": baselines,
+        "analysis": config,
+    }
+    specs = (
+        ScenarioSpec(
+            task="experiments.switchback_emulation",
+            params=common,
+            label="compare_designs[switchback]",
+        ),
+        ScenarioSpec(
+            task="experiments.event_study_emulation",
+            params=common,
+            label="compare_designs[event_study]",
+        ),
     )
-    event_study = emulate_event_study(
-        experiment_table, days, metrics=metrics, baselines=baselines, config=config
-    )
+    executor = executor or ParallelExecutor(jobs=jobs, cache=cache)
+    switchback, event_study = executor.map(specs)
     return AlternateDesignComparison(
         paired_link=paired_link_estimates,
         switchback=switchback,

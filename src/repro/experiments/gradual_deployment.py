@@ -11,7 +11,7 @@ detector, exactly as the paper proposes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from collections.abc import Sequence
 
 from repro.core.analysis.interference import InterferenceDiagnostics, detect_interference

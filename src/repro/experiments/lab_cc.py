@@ -28,6 +28,8 @@ def run_cc_experiment(
     model: CompetitionModel | None = None,
     noise: float = 0.0,
     seed: int | None = 0,
+    jobs: int = 1,
+    cache=None,
 ) -> LabFigure:
     """Run the congestion-control lab sweep and return the figure data.
 
@@ -47,6 +49,8 @@ def run_cc_experiment(
         model=model,
         noise=noise,
         seed=seed,
+        jobs=jobs,
+        cache=cache,
     )
     return sweep_to_figure(
         sweep,

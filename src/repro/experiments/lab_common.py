@@ -10,7 +10,7 @@ spillover) so benchmarks and examples can print them directly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.estimands import PotentialOutcomeCurve
 from repro.netsim.fluid.lab import LAB_METRICS, LabSweepResult

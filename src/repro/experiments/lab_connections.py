@@ -33,6 +33,8 @@ def run_connections_experiment(
     model: CompetitionModel | None = None,
     noise: float = 0.0,
     seed: int | None = 0,
+    jobs: int = 1,
+    cache=None,
 ) -> LabFigure:
     """Run the parallel-connections lab sweep and return the figure data.
 
@@ -46,6 +48,8 @@ def run_connections_experiment(
         Bottleneck and fluid-model parameters.
     noise, seed:
         Measurement noise level and seed.
+    jobs, cache:
+        Worker processes and optional result cache for the sweep arms.
     """
     if treatment_connections < 1 or control_connections < 1:
         raise ValueError("connection counts must be at least 1")
@@ -61,6 +65,8 @@ def run_connections_experiment(
         model=model,
         noise=noise,
         seed=seed,
+        jobs=jobs,
+        cache=cache,
     )
     return sweep_to_figure(
         sweep,

@@ -31,6 +31,8 @@ def run_pacing_experiment(
     model: CompetitionModel | None = None,
     noise: float = 0.0,
     seed: int | None = 0,
+    jobs: int = 1,
+    cache=None,
 ) -> LabFigure:
     """Run the pacing lab sweep and return the figure data."""
     sweep = run_lab_sweep(
@@ -41,6 +43,8 @@ def run_pacing_experiment(
         model=model,
         noise=noise,
         seed=seed,
+        jobs=jobs,
+        cache=cache,
     )
     return sweep_to_figure(
         sweep,

@@ -27,7 +27,10 @@ from repro.core.analysis.pipeline import AnalysisConfig, MetricEstimate
 from repro.core.designs import PairedLinkDesign
 from repro.core.experiment import ExperimentResult, evaluate_design
 from repro.core.units import SESSION_METRICS, OutcomeTable
-from repro.workload.netflix import PairedLinkWorkload, WorkloadConfig
+from repro.runner.cache import ResultCache
+from repro.runner.executor import ParallelExecutor
+from repro.runner.spec import ScenarioSpec
+from repro.workload.netflix import WorkloadConfig
 
 __all__ = ["PairedLinkExperiment", "PairedLinkOutcome", "CellMeans"]
 
@@ -275,15 +278,43 @@ class PairedLinkExperiment:
     aa_days: tuple[int, ...] = (0, 1, 2, 3, 4)
     analysis: AnalysisConfig = field(default_factory=AnalysisConfig)
 
-    def run(self) -> PairedLinkOutcome:
-        """Run baseline, main experiment and A/A weeks, then analyze."""
-        workload = PairedLinkWorkload(self.config)
-        links = self.config.links
+    def run(
+        self,
+        jobs: int = 1,
+        cache: ResultCache | None = None,
+        executor: ParallelExecutor | None = None,
+    ) -> PairedLinkOutcome:
+        """Run baseline, main experiment and A/A weeks, then analyze.
 
-        baseline_table = workload.generate_baseline(self.baseline_days)
-        plan = self.design.allocation_plan(links, self.days)
-        experiment_table = workload.generate(plan, self.days, treatment_active=True)
-        aa_table = workload.generate_aa_test(self.aa_days)
+        The three workload weeks are independently seeded (each table
+        draws from ``config.seed`` plus its own offset), so they run as
+        three parallel scenario specs when ``jobs > 1`` with results
+        bit-identical to the serial path.
+        """
+        links = self.config.links
+        specs = (
+            ScenarioSpec(
+                task="workload.baseline_table",
+                params={"config": self.config, "days": tuple(self.baseline_days)},
+                label="paired_link[baseline]",
+            ),
+            ScenarioSpec(
+                task="workload.experiment_table",
+                params={
+                    "config": self.config,
+                    "design": self.design,
+                    "days": tuple(self.days),
+                },
+                label="paired_link[experiment]",
+            ),
+            ScenarioSpec(
+                task="workload.aa_table",
+                params={"config": self.config, "days": tuple(self.aa_days)},
+                label="paired_link[aa]",
+            ),
+        )
+        executor = executor or ParallelExecutor(jobs=jobs, cache=cache)
+        baseline_table, experiment_table, aa_table = executor.map(specs)
 
         # Normalize everything by the global control condition: the control
         # sessions on the mostly-uncapped link (Appendix B.1).

@@ -27,6 +27,9 @@ from repro.netsim.fluid.competition import (
     link_loss_rate,
 )
 from repro.netsim.fluid.link import BottleneckLink
+from repro.runner.cache import ResultCache
+from repro.runner.executor import ParallelExecutor
+from repro.runner.spec import ScenarioSpec
 
 __all__ = [
     "LabExperimentResult",
@@ -185,6 +188,9 @@ def run_lab_sweep(
     model: CompetitionModel | None = None,
     noise: float = 0.0,
     seed: int | None = None,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    executor: ParallelExecutor | None = None,
 ) -> LabSweepResult:
     """Sweep the number of treated applications from 0 to ``n_units``.
 
@@ -198,10 +204,20 @@ def run_lab_sweep(
         with ``k`` treated units.
     link, model, noise, seed:
         Passed through to :func:`run_lab_experiment`.
+    jobs, cache, executor:
+        Each allocation is one independent arm; arms run through a
+        :class:`~repro.runner.executor.ParallelExecutor` with ``jobs``
+        worker processes and an optional result cache.  Every arm derives
+        its noise from ``seed + k``, so results are bit-identical for any
+        ``jobs``.
     """
     if n_units < 1:
         raise ValueError("n_units must be at least 1")
-    sweep = LabSweepResult(n_units=n_units)
+    # Resolve defaults before building specs so the cache key records the
+    # actual simulation inputs rather than None placeholders.
+    link = link or BottleneckLink()
+    model = model or CompetitionModel()
+    specs: list[ScenarioSpec] = []
     for k in range(n_units + 1):
         apps: list[Application] = []
         for i in range(n_units):
@@ -209,10 +225,23 @@ def run_lab_sweep(
                 apps.append(treatment_factory(i).as_treated())
             else:
                 apps.append(control_factory(i).as_control())
-        run_seed = None if seed is None else seed + k
-        sweep.results[k] = run_lab_experiment(
-            apps, link=link, model=model, noise=noise, seed=run_seed
+        specs.append(
+            ScenarioSpec(
+                task="netsim.fluid_arm",
+                params={
+                    "applications": tuple(apps),
+                    "link": link,
+                    "model": model,
+                    "noise": noise,
+                },
+                seed=None if seed is None else seed + k,
+                label=f"fluid_arm[k={k}/{n_units}]",
+            )
         )
+    executor = executor or ParallelExecutor(jobs=jobs, cache=cache)
+    sweep = LabSweepResult(n_units=n_units)
+    for k, result in enumerate(executor.map(specs)):
+        sweep.results[k] = result
     return sweep
 
 

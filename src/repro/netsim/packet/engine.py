@@ -29,10 +29,14 @@ class EventScheduler:
     ['b', 'a']
     """
 
+    #: Cancelled-entry count above which :meth:`cancel` rebuilds the heap.
+    _COMPACT_THRESHOLD = 64
+
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._counter = itertools.count()
         self._now = 0.0
+        self._pending: set[int] = set()
         self._cancelled: set[int] = set()
 
     @property
@@ -52,6 +56,7 @@ class EventScheduler:
             )
         event_id = next(self._counter)
         heapq.heappush(self._heap, (float(time), event_id, callback))
+        self._pending.add(event_id)
         return event_id
 
     def schedule_in(self, delay: float, callback: Callable[[], None]) -> int:
@@ -61,11 +66,29 @@ class EventScheduler:
         return self.schedule(self._now + delay, callback)
 
     def cancel(self, event_id: int) -> None:
-        """Cancel a previously scheduled event (lazily, at pop time)."""
+        """Cancel a previously scheduled event.
+
+        Cancelling an id that is not pending (unknown, already run, or
+        already cancelled) is a no-op.  Cancelled entries are dropped
+        lazily at pop time; once they outnumber the live events the heap
+        is compacted, so neither the heap nor the cancelled-id set grows
+        without bound.
+        """
+        if event_id not in self._pending:
+            return
+        self._pending.discard(event_id)
         self._cancelled.add(event_id)
+        if (
+            len(self._cancelled) > self._COMPACT_THRESHOLD
+            and len(self._cancelled) > len(self._pending)
+        ):
+            self._heap = [e for e in self._heap if e[1] not in self._cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled.clear()
 
     def __len__(self) -> int:
-        return len(self._heap)
+        """Number of live (non-cancelled) pending events."""
+        return len(self._pending)
 
     def run(self, until: float) -> None:
         """Run events in time order until the clock reaches ``until``."""
@@ -74,6 +97,7 @@ class EventScheduler:
             if event_id in self._cancelled:
                 self._cancelled.discard(event_id)
                 continue
+            self._pending.discard(event_id)
             self._now = time
             callback()
         self._now = max(self._now, until)
@@ -85,6 +109,7 @@ class EventScheduler:
             if event_id in self._cancelled:
                 self._cancelled.discard(event_id)
                 continue
+            self._pending.discard(event_id)
             self._now = time
             callback()
             return True

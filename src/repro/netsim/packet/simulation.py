@@ -12,7 +12,7 @@ every packet immediately.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from collections.abc import Sequence
 
 from repro.netsim.packet.engine import EventScheduler

@@ -15,7 +15,10 @@ from dataclasses import dataclass, field
 from collections.abc import Callable
 
 from repro.core.estimands import PotentialOutcomeCurve
-from repro.netsim.packet.simulation import FlowConfig, PacketSimResult, simulate
+from repro.netsim.packet.simulation import FlowConfig, PacketSimResult
+from repro.runner.cache import ResultCache
+from repro.runner.executor import ParallelExecutor
+from repro.runner.spec import ScenarioSpec
 
 __all__ = ["PacketSweepResult", "run_packet_sweep"]
 
@@ -47,15 +50,15 @@ class PacketSweepResult:
         for k, result in self.results.items():
             p = k / self.n_units
             if metric == "throughput_mbps":
-                treated = lambda r: r.group_mean_throughput(True)
-                control = lambda r: r.group_mean_throughput(False)
+                if k > 0:
+                    mu_t[p] = result.group_mean_throughput(True)
+                if k < self.n_units:
+                    mu_c[p] = result.group_mean_throughput(False)
             else:
-                treated = lambda r: r.group_mean_retransmit(True)
-                control = lambda r: r.group_mean_retransmit(False)
-            if k > 0:
-                mu_t[p] = treated(result)
-            if k < self.n_units:
-                mu_c[p] = control(result)
+                if k > 0:
+                    mu_t[p] = result.group_mean_retransmit(True)
+                if k < self.n_units:
+                    mu_c[p] = result.group_mean_retransmit(False)
         return PotentialOutcomeCurve(metric, mu_t, mu_c)
 
     def tte(self, metric: str) -> float:
@@ -77,6 +80,10 @@ def run_packet_sweep(
     buffer_bdp: float = 1.0,
     duration_s: float = 15.0,
     warmup_s: float = 5.0,
+    mss_bytes: int = 1500,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    executor: ParallelExecutor | None = None,
 ) -> PacketSweepResult:
     """Sweep the number of treated applications on the packet simulator.
 
@@ -92,10 +99,16 @@ def run_packet_sweep(
         ``n_units``).  Packet-level runs are much slower than the fluid
         model, so sweeps often simulate only the endpoints and one or two
         interior points.
-    capacity_mbps, base_rtt_ms, buffer_bdp, duration_s, warmup_s:
+    capacity_mbps, base_rtt_ms, buffer_bdp, duration_s, warmup_s, mss_bytes:
         Passed to :func:`repro.netsim.packet.simulation.simulate`.  The
         default capacity is scaled down from the paper's 10 Gb/s so the
         simulation finishes quickly; the sharing behaviour is rate-free.
+    jobs, cache, executor:
+        Arms are independent, so they fan out over a
+        :class:`~repro.runner.executor.ParallelExecutor` with ``jobs``
+        worker processes (results are identical for any ``jobs``) and an
+        optional on-disk result cache.  Passing an ``executor`` overrides
+        both.
     """
     if n_units < 1:
         raise ValueError("n_units must be at least 1")
@@ -105,7 +118,7 @@ def run_packet_sweep(
         if not 0 <= k <= n_units:
             raise ValueError(f"treated count {k} outside [0, {n_units}]")
 
-    sweep = PacketSweepResult(n_units=n_units)
+    specs: list[ScenarioSpec] = []
     for k in allocations:
         flows: list[FlowConfig] = []
         for i in range(n_units):
@@ -119,12 +132,24 @@ def run_packet_sweep(
                     treated=i < k,
                 )
             )
-        sweep.results[int(k)] = simulate(
-            flows,
-            capacity_mbps=capacity_mbps,
-            base_rtt_ms=base_rtt_ms,
-            buffer_bdp=buffer_bdp,
-            duration_s=duration_s,
-            warmup_s=warmup_s,
+        specs.append(
+            ScenarioSpec(
+                task="netsim.packet_arm",
+                params={
+                    "flows": tuple(flows),
+                    "capacity_mbps": capacity_mbps,
+                    "base_rtt_ms": base_rtt_ms,
+                    "buffer_bdp": buffer_bdp,
+                    "duration_s": duration_s,
+                    "warmup_s": warmup_s,
+                    "mss_bytes": mss_bytes,
+                },
+                label=f"packet_arm[k={int(k)}/{n_units}]",
+            )
         )
+
+    executor = executor or ParallelExecutor(jobs=jobs, cache=cache)
+    sweep = PacketSweepResult(n_units=n_units)
+    for k, result in zip(allocations, executor.map(specs)):
+        sweep.results[int(k)] = result
     return sweep

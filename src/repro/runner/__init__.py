@@ -1,0 +1,47 @@
+"""Process-parallel scenario runner with deterministic result caching.
+
+Every sweep and replication in the repository — packet-level allocation
+sweeps, fluid lab sweeps, paired-link workload weeks, multi-seed figure
+replications — is a flat list of independent simulation arms.  This
+package gives those arms a common shape and a common execution engine:
+
+:class:`~repro.runner.spec.ScenarioSpec`
+    A declarative, picklable description of one arm: a registered task
+    name, its parameters, and the seed that makes it deterministic.
+
+:class:`~repro.runner.executor.ParallelExecutor`
+    Fans a list of specs out over a ``ProcessPoolExecutor``.  Because all
+    randomness is derived from the per-spec seed, parallel results are
+    bit-identical to serial ones.
+
+:class:`~repro.runner.cache.ResultCache`
+    A content-keyed on-disk cache: a spec's key hashes its task name,
+    parameters, seed and the package version, so re-running a figure with
+    unchanged parameters is instant while any parameter change misses.
+
+The built-in tasks live in :mod:`repro.runner.tasks`; they are loaded
+lazily the first time a spec is run so the simulators can themselves
+import the runner without creating an import cycle.
+"""
+
+from repro.runner.cache import ResultCache, default_cache_dir
+from repro.runner.executor import ParallelExecutor, run_specs
+from repro.runner.spec import (
+    ScenarioSpec,
+    content_key,
+    get_task,
+    register_task,
+    run_spec,
+)
+
+__all__ = [
+    "ScenarioSpec",
+    "ParallelExecutor",
+    "ResultCache",
+    "content_key",
+    "default_cache_dir",
+    "get_task",
+    "register_task",
+    "run_spec",
+    "run_specs",
+]

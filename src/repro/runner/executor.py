@@ -1,0 +1,93 @@
+"""Process-parallel execution of scenario specs.
+
+:class:`ParallelExecutor` is deliberately small: resolve cache hits,
+fan the misses out over a process pool (or run them inline for
+``jobs=1``), store fresh results back into the cache, and return results
+in spec order.  Because every spec carries its own seed, the results are
+bit-identical regardless of ``jobs``.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any
+
+from repro.runner.cache import ResultCache
+from repro.runner.spec import ScenarioSpec, content_key, run_spec
+
+__all__ = ["ParallelExecutor", "run_specs"]
+
+
+def _execute(spec: ScenarioSpec) -> Any:
+    # Module-level so worker processes can unpickle a reference to it.
+    return run_spec(spec)
+
+
+class ParallelExecutor:
+    """Runs scenario specs serially or across worker processes.
+
+    Parameters
+    ----------
+    jobs:
+        Number of worker processes.  ``1`` (the default) runs every spec
+        in the current process with no pool overhead; ``None`` or any
+        value below 1 means "one per CPU".
+    cache:
+        Optional :class:`ResultCache`.  Hits skip execution entirely;
+        fresh results are stored after execution.
+    """
+
+    def __init__(self, jobs: int | None = 1, cache: ResultCache | None = None):
+        if jobs is None or jobs < 1:
+            jobs = os.cpu_count() or 1
+        self.jobs = int(jobs)
+        self.cache = cache
+
+    def run(self, spec: ScenarioSpec) -> Any:
+        """Execute a single spec (through the cache if one is set)."""
+        return self.map([spec])[0]
+
+    def map(self, specs: Iterable[ScenarioSpec]) -> list[Any]:
+        """Execute specs and return their results in input order."""
+        specs = list(specs)
+        results: list[Any] = [None] * len(specs)
+        keys: dict[int, str] = {}
+        pending: list[int] = []
+
+        if self.cache is None:
+            pending = list(range(len(specs)))
+        else:
+            for i, spec in enumerate(specs):
+                key = content_key(spec)
+                keys[i] = key
+                hit, value = self.cache.get(key)
+                if hit:
+                    results[i] = value
+                else:
+                    pending.append(i)
+
+        if pending:
+            fresh = self._execute_pending([specs[i] for i in pending])
+            for i, value in zip(pending, fresh):
+                results[i] = value
+                if self.cache is not None:
+                    self.cache.put(keys[i], value)
+        return results
+
+    def _execute_pending(self, specs: Sequence[ScenarioSpec]) -> list[Any]:
+        if self.jobs == 1 or len(specs) == 1:
+            return [run_spec(spec) for spec in specs]
+        workers = min(self.jobs, len(specs))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_execute, specs))
+
+
+def run_specs(
+    specs: Iterable[ScenarioSpec],
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
+) -> list[Any]:
+    """Convenience wrapper: build an executor and map the specs."""
+    return ParallelExecutor(jobs=jobs, cache=cache).map(specs)

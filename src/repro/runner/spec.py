@@ -1,0 +1,168 @@
+"""Declarative scenario specifications and the runner task registry.
+
+A :class:`ScenarioSpec` names a *task* — a registered, importable function
+— together with the picklable parameters and seed it should run with.
+Specs are the unit of work for :class:`~repro.runner.executor.ParallelExecutor`
+and the unit of identity for :class:`~repro.runner.cache.ResultCache`:
+:func:`content_key` derives a stable hash from the task name, the
+canonicalized parameters, the seed and the package version.
+
+Tasks are registered with :func:`register_task` and must satisfy two
+rules so specs can cross process boundaries:
+
+* the task function is defined at module level (worker processes import
+  it by name when the pool uses the ``spawn`` start method);
+* it accepts a ``seed`` keyword argument (possibly ``None``) and draws
+  *all* of its randomness from it, so a spec's result is a pure function
+  of the spec.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["ScenarioSpec", "register_task", "get_task", "run_spec", "content_key"]
+
+#: Registered task functions, keyed by task name.
+_TASKS: dict[str, Callable[..., Any]] = {}
+
+
+def register_task(name: str) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Register a function as a runner task under ``name`` (decorator)."""
+
+    def decorator(fn: Callable[..., Any]) -> Callable[..., Any]:
+        existing = _TASKS.get(name)
+        if existing is not None and existing is not fn:
+            raise ValueError(f"task {name!r} is already registered to {existing!r}")
+        _TASKS[name] = fn
+        return fn
+
+    return decorator
+
+
+def get_task(name: str) -> Callable[..., Any]:
+    """Look up a registered task, loading the built-in tasks on first use."""
+    _ensure_builtin_tasks()
+    try:
+        return _TASKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown runner task {name!r}; registered tasks: {sorted(_TASKS)}"
+        ) from None
+
+
+def _ensure_builtin_tasks() -> None:
+    # The built-in tasks call into the simulators, which themselves import
+    # the runner; importing them lazily here keeps the modules acyclic.
+    import repro.runner.tasks  # noqa: F401
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One independent simulation arm.
+
+    Attributes
+    ----------
+    task:
+        Name of a registered task function.
+    params:
+        Keyword arguments for the task.  Everything in here must be
+        picklable (to reach worker processes) and canonicalizable (to be
+        content-keyed); dataclasses, mappings, sequences, numpy arrays and
+        scalars all qualify.
+    seed:
+        Seed passed to the task as ``seed=``; the task derives all of its
+        randomness from it.
+    label:
+        Human-readable identifier used in logs and error messages.
+    """
+
+    task: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    seed: int | None = None
+    label: str = ""
+
+    def run(self) -> Any:
+        """Execute this spec in the current process."""
+        return run_spec(self)
+
+    def key(self) -> str:
+        """Content key identifying this spec's result."""
+        return content_key(self)
+
+
+def run_spec(spec: ScenarioSpec) -> Any:
+    """Execute one spec in the current process and return its result."""
+    fn = get_task(spec.task)
+    return fn(seed=spec.seed, **dict(spec.params))
+
+
+def content_key(spec: ScenarioSpec) -> str:
+    """Stable hex digest identifying a spec's result.
+
+    The key covers the task name, seed, canonicalized parameters and the
+    package version (so cached results do not survive code releases).
+    """
+    from repro import __version__
+
+    payload = {
+        "version": __version__,
+        "task": spec.task,
+        "seed": spec.seed,
+        "params": _canonical(spec.params),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-serializable form with a stable ordering."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return float(obj)
+    if isinstance(obj, (np.bool_, np.integer, np.floating)):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        data = np.ascontiguousarray(obj)
+        return {
+            "__ndarray__": hashlib.sha256(data.tobytes()).hexdigest(),
+            "dtype": str(data.dtype),
+            "shape": list(data.shape),
+        }
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            "__dataclass__": f"{type(obj).__module__}.{type(obj).__qualname__}",
+            "fields": {
+                f.name: _canonical(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+            },
+        }
+    if isinstance(obj, Mapping):
+        items = [[_canonical(k), _canonical(v)] for k, v in obj.items()]
+        items.sort(key=lambda kv: json.dumps(kv[0], sort_keys=True, default=str))
+        return {"__mapping__": items}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(x) for x in obj]
+    if isinstance(obj, (set, frozenset)):
+        members = [_canonical(x) for x in obj]
+        members.sort(key=lambda m: json.dumps(m, sort_keys=True, default=str))
+        return {"__set__": members}
+    if not callable(obj) and hasattr(obj, "__dict__"):
+        # Plain classes (AllocationPlan, OutcomeTable, ...) are keyed by
+        # their instance state.  Callables are rejected: their identity is
+        # their code, which instance state cannot capture.
+        return {
+            "__object__": f"{type(obj).__module__}.{type(obj).__qualname__}",
+            "state": _canonical(vars(obj)),
+        }
+    raise TypeError(
+        f"cannot build a content key for {type(obj).__name__!s}: {obj!r}"
+    )

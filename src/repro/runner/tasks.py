@@ -1,0 +1,281 @@
+"""Built-in runner tasks.
+
+Each task is a module-level function registered with
+:func:`repro.runner.spec.register_task`.  Tasks import the simulators
+*inside* the function body: this module is imported lazily by the task
+registry, and the simulators themselves import the runner, so deferring
+the heavy imports keeps the dependency graph acyclic and worker start-up
+cheap.
+
+Every task accepts a ``seed`` keyword argument and derives all of its
+randomness from it (or ignores it when the underlying computation is
+deterministic), so a task's result is a pure function of its spec.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+from repro.runner.spec import register_task
+
+__all__ = [
+    "echo",
+    "packet_arm",
+    "fluid_arm",
+    "baseline_table",
+    "experiment_table",
+    "aa_table",
+    "switchback_emulation",
+    "event_study_emulation",
+    "figure_cells",
+    "FIGURE_CELL_TASKS",
+]
+
+
+@register_task("debug.echo")
+def echo(seed: int | None = None, **params: Any) -> dict[str, Any]:
+    """Return the spec's own payload; used by tests and smoke checks."""
+    return {"seed": seed, **params}
+
+
+# -- netsim arms ---------------------------------------------------------------
+
+
+@register_task("netsim.packet_arm")
+def packet_arm(
+    flows: Sequence[Any],
+    capacity_mbps: float,
+    base_rtt_ms: float,
+    buffer_bdp: float,
+    duration_s: float,
+    warmup_s: float,
+    mss_bytes: int = 1500,
+    seed: int | None = None,
+) -> Any:
+    """One packet-level simulation arm (a fixed set of flow configs)."""
+    from repro.netsim.packet.simulation import simulate
+
+    return simulate(
+        list(flows),
+        capacity_mbps=capacity_mbps,
+        base_rtt_ms=base_rtt_ms,
+        buffer_bdp=buffer_bdp,
+        mss_bytes=mss_bytes,
+        duration_s=duration_s,
+        warmup_s=warmup_s,
+    )
+
+
+@register_task("netsim.fluid_arm")
+def fluid_arm(
+    applications: Sequence[Any],
+    link: Any = None,
+    model: Any = None,
+    noise: float = 0.0,
+    seed: int | None = None,
+) -> Any:
+    """One fluid lab arm: a fixed application mix sharing the bottleneck."""
+    from repro.netsim.fluid.lab import run_lab_experiment
+
+    return run_lab_experiment(
+        list(applications), link=link, model=model, noise=noise, seed=seed
+    )
+
+
+# -- paired-link workload tables -----------------------------------------------
+
+
+@register_task("workload.baseline_table")
+def baseline_table(config: Any, days: Sequence[int], seed: int | None = None) -> Any:
+    """The untreated baseline week of the paired-link workload."""
+    from repro.workload.netflix import PairedLinkWorkload
+
+    return PairedLinkWorkload(config).generate_baseline(tuple(days))
+
+
+@register_task("workload.experiment_table")
+def experiment_table(
+    config: Any, design: Any, days: Sequence[int], seed: int | None = None
+) -> Any:
+    """The main experiment week under a paired-link allocation plan."""
+    from repro.workload.netflix import PairedLinkWorkload
+
+    workload = PairedLinkWorkload(config)
+    plan = design.allocation_plan(config.links, tuple(days))
+    return workload.generate(plan, tuple(days), treatment_active=True)
+
+
+@register_task("workload.aa_table")
+def aa_table(config: Any, days: Sequence[int], seed: int | None = None) -> Any:
+    """The post-experiment A/A week (labelled but never capped)."""
+    from repro.workload.netflix import PairedLinkWorkload
+
+    return PairedLinkWorkload(config).generate_aa_test(tuple(days))
+
+
+# -- emulated alternate designs ------------------------------------------------
+
+
+@register_task("experiments.switchback_emulation")
+def switchback_emulation(
+    table: Any,
+    days: Sequence[int],
+    metrics: Sequence[str],
+    baselines: Mapping[str, float] | None = None,
+    analysis: Any = None,
+    seed: int | None = None,
+) -> Any:
+    """Emulated switchback TTE estimates from paired-link data."""
+    from repro.experiments.alternate_designs import emulate_switchback
+
+    return emulate_switchback(
+        table,
+        days,
+        metrics=tuple(metrics),
+        baselines=dict(baselines) if baselines else None,
+        config=analysis,
+    )
+
+
+@register_task("experiments.event_study_emulation")
+def event_study_emulation(
+    table: Any,
+    days: Sequence[int],
+    metrics: Sequence[str],
+    baselines: Mapping[str, float] | None = None,
+    analysis: Any = None,
+    seed: int | None = None,
+) -> Any:
+    """Emulated event-study TTE estimates from paired-link data."""
+    from repro.experiments.alternate_designs import emulate_event_study
+
+    return emulate_event_study(
+        table,
+        days,
+        metrics=tuple(metrics),
+        baselines=dict(baselines) if baselines else None,
+        config=analysis,
+    )
+
+
+# -- multi-seed figure replication ---------------------------------------------
+
+#: Figures the ``figure.cells`` task (and ``repro sweep``) can replicate.
+FIGURE_CELL_TASKS: tuple[str, ...] = (
+    "fig2a",
+    "fig2b",
+    "fig3",
+    "baseline",
+    "fig5",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+)
+
+
+@register_task("figure.cells")
+def figure_cells(
+    figure: str,
+    quick: bool = False,
+    noise: float = 0.0,
+    seed: int | None = 0,
+) -> dict[str, float]:
+    """One replication of a figure, reduced to its scalar cells.
+
+    Returns a flat ``{cell name: value}`` mapping so ``repro sweep`` can
+    aggregate mean and confidence intervals across seeds.  Lab figures use
+    ``noise`` as the measurement-noise level (their outcomes are otherwise
+    deterministic); paired-link figures re-run the synthetic workload with
+    the given seed.
+    """
+    if figure in ("fig2a", "fig2b", "fig3"):
+        return _lab_cells(figure, noise=noise, seed=seed)
+    if figure in FIGURE_CELL_TASKS:
+        return _paired_cells(figure, quick=quick, seed=seed)
+    raise KeyError(
+        f"figure {figure!r} cannot be swept; choose one of {FIGURE_CELL_TASKS}"
+    )
+
+
+def _lab_cells(figure: str, noise: float, seed: int | None) -> dict[str, float]:
+    from repro.experiments import (
+        run_cc_experiment,
+        run_connections_experiment,
+        run_pacing_experiment,
+    )
+
+    runners = {
+        "fig2a": run_connections_experiment,
+        "fig2b": run_pacing_experiment,
+        "fig3": run_cc_experiment,
+    }
+    fig = runners[figure](noise=noise, seed=seed)
+    return {
+        "tte_throughput_mbps": fig.tte("throughput_mbps"),
+        "tte_retransmit_fraction": fig.tte("retransmit_fraction"),
+        "ab_throughput_mbps@0.5": fig.ab_estimate("throughput_mbps", 0.5),
+        "spillover_throughput@0.5": fig.spillover("throughput_mbps", 0.5),
+    }
+
+
+def _paired_cells(figure: str, quick: bool, seed: int | None) -> dict[str, float]:
+    from repro.core.units import SESSION_METRICS
+    from repro.experiments import (
+        PairedLinkExperiment,
+        compare_designs,
+        compare_links_at_baseline,
+    )
+    from repro.workload import WorkloadConfig
+
+    sessions = 150 if quick else 300
+    config = WorkloadConfig(sessions_at_peak=sessions, seed=0 if seed is None else seed)
+    outcome = PairedLinkExperiment(config=config).run()
+
+    if figure == "baseline":
+        return {
+            f"rel_diff_pct:{row.metric}": row.relative_percent
+            for row in compare_links_at_baseline(outcome.baseline_table)
+        }
+    if figure == "fig5":
+        cells: dict[str, float] = {}
+        for estimand in ("ab_0.05", "ab_0.95", "tte", "spillover"):
+            for metric in SESSION_METRICS:
+                cells[f"{estimand}:{metric}"] = outcome.estimates[estimand][
+                    metric
+                ].relative_percent
+        return cells
+    if figure == "fig7":
+        c = outcome.figure7_cells()
+        return {
+            "link1_treated": c.link1_treated,
+            "link1_control": c.link1_control,
+            "link2_treated": c.link2_treated,
+            "link2_control": c.link2_control,
+        }
+    if figure == "fig8":
+        c = outcome.figure8_cells()
+        return {
+            "link1_treated": c.link1_treated,
+            "link1_control": c.link1_control,
+            "link2_treated": c.link2_treated,
+            "link2_control": c.link2_control,
+        }
+    if figure == "fig9":
+        split = outcome.figure9_retransmit_split()
+        return {name: 100.0 * value for name, value in split.items()}
+    if figure == "fig10":
+        comparison = compare_designs(
+            outcome.experiment_table,
+            outcome.days,
+            outcome.estimates["tte"],
+            baselines=outcome.baselines,
+        )
+        cells = {}
+        for design in comparison.DESIGNS:
+            for metric in SESSION_METRICS:
+                estimate = getattr(comparison, design)[metric]
+                cells[f"{design}:{metric}"] = estimate.relative_percent
+        return cells
+    raise KeyError(f"unknown paired-link figure {figure!r}")

@@ -27,7 +27,7 @@ The model encodes the causal structure the paper identifies:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

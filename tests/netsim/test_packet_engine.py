@@ -86,6 +86,58 @@ class TestEventScheduler:
         sched.schedule(2.0, lambda: None)
         assert len(sched) == 2
 
+    def test_len_excludes_cancelled_events(self):
+        sched = EventScheduler()
+        event_id = sched.schedule(1.0, lambda: None)
+        sched.schedule(2.0, lambda: None)
+        sched.cancel(event_id)
+        assert len(sched) == 1
+
+    def test_cancel_unknown_or_finished_id_is_noop(self):
+        sched = EventScheduler()
+        event_id = sched.schedule(1.0, lambda: None)
+        sched.run(until=2.0)
+        sched.cancel(event_id)  # already executed
+        sched.cancel(999)  # never scheduled
+        assert len(sched) == 0
+        assert sched._cancelled == set()
+
+    def test_cancel_is_idempotent(self):
+        sched = EventScheduler()
+        event_id = sched.schedule(1.0, lambda: None)
+        sched.cancel(event_id)
+        sched.cancel(event_id)
+        assert len(sched) == 0
+
+    def test_run_purges_cancelled_entries(self):
+        sched = EventScheduler()
+        event_id = sched.schedule(1.0, lambda: None)
+        sched.cancel(event_id)
+        sched.run(until=2.0)
+        assert len(sched) == 0
+        assert sched._heap == []
+        assert sched._cancelled == set()
+
+    def test_cancelled_events_do_not_accumulate(self):
+        # A long-lived scheduler that schedules and cancels far-future
+        # events must not grow its heap or cancelled set without bound.
+        sched = EventScheduler()
+        for _ in range(1000):
+            sched.cancel(sched.schedule(1e9, lambda: None))
+        assert len(sched) == 0
+        assert len(sched._heap) <= 2 * EventScheduler._COMPACT_THRESHOLD
+        assert len(sched._cancelled) <= 2 * EventScheduler._COMPACT_THRESHOLD
+
+    def test_compaction_preserves_live_events(self):
+        sched = EventScheduler()
+        fired = []
+        keep = [sched.schedule(float(i + 1), lambda i=i: fired.append(i)) for i in range(5)]
+        for _ in range(200):
+            sched.cancel(sched.schedule(500.0, lambda: fired.append("dead")))
+        assert len(sched) == len(keep)
+        sched.run(until=1000.0)
+        assert fired == [0, 1, 2, 3, 4]
+
 
 def make_packet(flow_id=0, seq=0, size=1000, time=0.0):
     return Packet(flow_id=flow_id, sequence=seq, size_bytes=size, send_time=time)

@@ -1,0 +1,92 @@
+"""Tests for the parallel executor."""
+
+import os
+
+import pytest
+
+from repro.runner import ParallelExecutor, ResultCache, ScenarioSpec, register_task, run_specs
+
+_EXECUTIONS = []
+
+
+@register_task("test.record")
+def _record(value, seed=None):
+    _EXECUTIONS.append(value)
+    return value
+
+
+@register_task("test.fail")
+def _fail(seed=None):
+    raise RuntimeError("task exploded")
+
+
+def _echo_specs(n):
+    return [
+        ScenarioSpec(task="debug.echo", params={"index": i}, seed=i) for i in range(n)
+    ]
+
+
+class TestParallelExecutor:
+    def test_serial_map_preserves_order(self):
+        results = ParallelExecutor(jobs=1).map(_echo_specs(5))
+        assert [r["index"] for r in results] == list(range(5))
+        assert [r["seed"] for r in results] == list(range(5))
+
+    def test_parallel_map_preserves_order(self):
+        results = ParallelExecutor(jobs=2).map(_echo_specs(6))
+        assert [r["index"] for r in results] == list(range(6))
+
+    def test_parallel_equals_serial(self):
+        specs = _echo_specs(4)
+        assert ParallelExecutor(jobs=1).map(specs) == ParallelExecutor(jobs=4).map(specs)
+
+    def test_jobs_below_one_means_cpu_count(self):
+        assert ParallelExecutor(jobs=0).jobs == (os.cpu_count() or 1)
+        assert ParallelExecutor(jobs=None).jobs == (os.cpu_count() or 1)
+
+    def test_run_single_spec(self):
+        result = ParallelExecutor(jobs=1).run(
+            ScenarioSpec(task="debug.echo", params={"x": 9})
+        )
+        assert result["x"] == 9
+
+    def test_empty_map(self):
+        assert ParallelExecutor(jobs=2).map([]) == []
+
+    def test_task_error_propagates(self):
+        with pytest.raises(RuntimeError, match="task exploded"):
+            ParallelExecutor(jobs=1).map([ScenarioSpec(task="test.fail")])
+
+    def test_run_specs_convenience(self):
+        assert run_specs(_echo_specs(2))[1]["index"] == 1
+
+
+class TestExecutorCaching:
+    def test_cache_skips_execution_on_second_run(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = ScenarioSpec(task="test.record", params={"value": 42})
+        _EXECUTIONS.clear()
+
+        first = ParallelExecutor(jobs=1, cache=cache).map([spec])
+        assert first == [42]
+        assert _EXECUTIONS == [42]
+
+        second = ParallelExecutor(jobs=1, cache=cache).map([spec])
+        assert second == [42]
+        assert _EXECUTIONS == [42]  # not executed again
+        assert cache.hits == 1
+
+    def test_cache_distinguishes_parameters(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        executor = ParallelExecutor(jobs=1, cache=cache)
+        _EXECUTIONS.clear()
+        executor.map([ScenarioSpec(task="test.record", params={"value": 1})])
+        executor.map([ScenarioSpec(task="test.record", params={"value": 2})])
+        assert _EXECUTIONS == [1, 2]
+
+    def test_mixed_hits_and_misses_keep_order(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = _echo_specs(4)
+        ParallelExecutor(jobs=1, cache=cache).map(specs[:2])
+        results = ParallelExecutor(jobs=1, cache=cache).map(specs)
+        assert [r["index"] for r in results] == list(range(4))

@@ -1,0 +1,113 @@
+"""Parallel execution must be bit-identical to the serial path.
+
+Every sweep derives its randomness from per-arm seeds, so fanning arms
+out over worker processes cannot change any result.  These tests assert
+exact equality (not approximate) between ``jobs=1`` and ``jobs>1`` for
+the packet sweep, the fluid lab sweep and the paired-link experiment.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import PairedLinkExperiment
+from repro.netsim.fluid.application import Application
+from repro.netsim.fluid.lab import run_lab_sweep
+from repro.netsim.packet.simulation import FlowConfig
+from repro.netsim.packet.sweep import run_packet_sweep
+from repro.workload import WorkloadConfig
+
+PACKET_KWARGS = dict(
+    allocations=(0, 2, 4),
+    capacity_mbps=20.0,
+    duration_s=6.0,
+    warmup_s=2.0,
+)
+
+
+def _packet_sweep(jobs):
+    return run_packet_sweep(
+        4,
+        treatment_factory=lambda i: FlowConfig(i, cc="reno", connections=2),
+        control_factory=lambda i: FlowConfig(i, cc="reno", connections=1),
+        jobs=jobs,
+        **PACKET_KWARGS,
+    )
+
+
+class TestPacketSweepParallel:
+    def test_jobs4_equals_serial(self):
+        serial = _packet_sweep(jobs=1)
+        parallel = _packet_sweep(jobs=4)
+        assert sorted(serial.results) == sorted(parallel.results)
+        for k in serial.results:
+            assert serial.results[k] == parallel.results[k]
+
+    def test_curves_identical(self):
+        serial = _packet_sweep(jobs=1)
+        parallel = _packet_sweep(jobs=4)
+        for metric in ("throughput_mbps", "retransmit_fraction"):
+            assert serial.tte(metric) == parallel.tte(metric)
+
+
+class TestFluidSweepParallel:
+    def _sweep(self, jobs):
+        return run_lab_sweep(
+            6,
+            treatment_factory=lambda i: Application(i, cc="reno", connections=2),
+            control_factory=lambda i: Application(i, cc="reno", connections=1),
+            noise=0.05,
+            seed=11,
+            jobs=jobs,
+        )
+
+    def test_jobs3_equals_serial_with_noise(self):
+        serial = self._sweep(jobs=1)
+        parallel = self._sweep(jobs=3)
+        assert sorted(serial.results) == sorted(parallel.results)
+        for k in serial.results:
+            assert serial.results[k] == parallel.results[k]
+
+
+class TestPairedLinkParallel:
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        config = WorkloadConfig(sessions_at_peak=100, n_accounts=1500, seed=5)
+        serial = PairedLinkExperiment(config=config).run(jobs=1)
+        parallel = PairedLinkExperiment(config=config).run(jobs=3)
+        return serial, parallel
+
+    def test_tables_identical(self, outcomes):
+        serial, parallel = outcomes
+        for name in ("baseline_table", "experiment_table", "aa_table"):
+            a, b = getattr(serial, name), getattr(parallel, name)
+            assert a.column_names == b.column_names
+            for column in a.column_names:
+                assert np.array_equal(a[column], b[column])
+
+    def test_estimates_identical(self, outcomes):
+        serial, parallel = outcomes
+        for estimand, per_metric in serial.estimates.items():
+            for metric, estimate in per_metric.items():
+                assert (
+                    estimate.relative_percent
+                    == parallel.estimates[estimand][metric].relative_percent
+                )
+
+
+class TestSweepCaching:
+    def test_cached_rerun_matches_fresh_run(self, tmp_path):
+        from repro.runner import ResultCache
+
+        cache = ResultCache(tmp_path)
+        kwargs = dict(
+            treatment_factory=lambda i: Application(i, cc="reno", paced=True),
+            control_factory=lambda i: Application(i, cc="reno", paced=False),
+            noise=0.02,
+            seed=3,
+        )
+        fresh = run_lab_sweep(4, cache=cache, **kwargs)
+        assert cache.hits == 0
+        cached = run_lab_sweep(4, cache=cache, **kwargs)
+        assert cache.hits == 5  # one per allocation 0..4
+        for k in fresh.results:
+            assert fresh.results[k] == cached.results[k]

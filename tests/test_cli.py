@@ -21,6 +21,17 @@ class TestParser:
         assert args.quick is True
         assert args.seed == 3
 
+    def test_jobs_and_cache_flags(self):
+        args = build_parser().parse_args(["fig5", "--jobs", "4", "--cache"])
+        assert args.jobs == 4
+        assert args.cache is True
+
+    def test_sweep_accepts_target(self):
+        args = build_parser().parse_args(["sweep", "fig2a", "--replications", "3"])
+        assert args.figure == "sweep"
+        assert args.target == "fig2a"
+        assert args.replications == 3
+
 
 class TestCommands:
     def test_list_command(self, capsys):
@@ -39,3 +50,70 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "off-peak" in out
         assert "overall TTE" in out
+
+
+class TestParallelDeterminism:
+    def test_lab_figure_same_output_jobs_1_vs_4(self, capsys):
+        assert main(["fig2a", "--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["fig2a", "--jobs", "4"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_paired_figure_same_output_jobs_1_vs_4(self, capsys):
+        argv = ["fig9", "--quick", "--seed", "5"]
+        assert main([*argv, "--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main([*argv, "--jobs", "4"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+
+class TestSweepCommand:
+    def test_sweep_output_is_stable_across_runs(self, capsys):
+        argv = [
+            "sweep",
+            "fig2a",
+            "--replications",
+            "3",
+            "--noise",
+            "0.05",
+            "--seed",
+            "2",
+            "--jobs",
+            "2",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert "mean" in first
+        assert "tte_throughput_mbps" in first
+        assert "seeds 2..4" in first
+
+    def test_sweep_requires_known_target(self):
+        with pytest.raises(SystemExit):
+            main(["sweep"])
+        with pytest.raises(SystemExit):
+            main(["sweep", "not-a-figure"])
+
+    def test_stray_target_on_non_sweep_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig5", "fig10"])
+
+    def test_inert_quick_flag_does_not_split_lab_sweep_cache(self, tmp_path, capsys):
+        # Lab figures ignore --quick, so adding it must reuse the cached
+        # arms rather than recompute under a different content key.
+        argv = ["sweep", "fig2a", "--replications", "1", "--cache",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        entries = len(list(tmp_path.glob("*.pkl")))
+        assert entries > 0
+        assert main([*argv, "--quick"]) == 0
+        assert len(list(tmp_path.glob("*.pkl"))) == entries
+        capsys.readouterr()
+
+    def test_list_mentions_sweepable_figures(self, capsys):
+        assert main(["list"]) == 0
+        assert "sweepable" in capsys.readouterr().out

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.units import SESSION_METRICS
-from repro.workload.congestion import CongestionModel, LinkHourState
+from repro.workload.congestion import LinkHourState
 from repro.workload.qoe import LinkEffects, SessionOutcomeModel
 from repro.workload.video import BitrateCapPolicy
 

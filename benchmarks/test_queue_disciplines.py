@@ -1,0 +1,52 @@
+"""Wall-time of the packet sweep under drop-tail vs CoDel.
+
+CoDel does strictly more per-packet work than drop-tail (sojourn
+bookkeeping and the control-law state machine at every dequeue), so this
+pair of quick-mode benchmarks keeps the overhead of the queue-discipline
+abstraction visible in the perf trajectory: if the refactored
+:class:`~repro.netsim.packet.queue.QueueDiscipline` hot path regresses,
+both timings move together; if CoDel's drop logic regresses, only the
+second does.
+
+Quick-mode sizing (4 units, 3 allocations, 6 s arms) keeps the pair
+under a few seconds total so it can ride along in tier-1 runs.
+"""
+
+from _helpers import run_once
+
+from repro.netsim.packet.simulation import FlowConfig
+from repro.netsim.packet.sweep import run_packet_sweep
+
+#: Quick-mode sweep sizing, matching the topology experiments' quick scale.
+QUICK_KWARGS = dict(
+    allocations=(0, 2, 4),
+    capacity_mbps=24.0,
+    duration_s=6.0,
+    warmup_s=2.0,
+)
+
+
+def _sweep(queue_discipline):
+    return run_packet_sweep(
+        4,
+        treatment_factory=lambda i: FlowConfig(i, cc="reno", connections=2),
+        control_factory=lambda i: FlowConfig(i, cc="reno", connections=1),
+        queue_discipline=queue_discipline,
+        **QUICK_KWARGS,
+    )
+
+
+def test_droptail_sweep_quick(benchmark):
+    sweep = run_once(benchmark, _sweep, "droptail")
+    assert sorted(sweep.results) == [0, 2, 4]
+    assert sweep.results[0].total_drops > 0
+
+
+def test_codel_sweep_quick(benchmark):
+    sweep = run_once(benchmark, _sweep, "codel")
+    assert sorted(sweep.results) == [0, 2, 4]
+    # CoDel still sees drops (its dequeue drops plus the hard limit), and
+    # the sharing story is unchanged: treated apps out-earn control at 50%.
+    assert sweep.results[0].total_drops > 0
+    ab = sweep.ab_estimate("throughput_mbps", 0.5)
+    assert ab > 0.0

@@ -6,6 +6,8 @@ Usage::
     repro fig2a                      # parallel-connections lab figure
     repro fig5 --quick               # paired-link treatment-effect table
     repro fig10 --seed 11 --jobs 4   # design comparison, 4 worker processes
+    repro topo_rtt --jobs 4          # A/B bias under heterogeneous RTTs
+    repro topo_aqm --quick           # does CoDel shrink the A/B bias?
     repro sweep fig5 --replications 5 --jobs 4   # multi-seed mean ± CI
 
 Every figure command prints the same rows/series the corresponding
@@ -32,9 +34,11 @@ from repro.experiments import (
     PairedLinkExperiment,
     compare_designs,
     compare_links_at_baseline,
+    run_aqm_experiment,
     run_cc_experiment,
     run_connections_experiment,
     run_pacing_experiment,
+    run_rtt_experiment,
 )
 from repro.reporting import format_table
 from repro.runner import ParallelExecutor, ResultCache, ScenarioSpec, default_cache_dir
@@ -53,6 +57,9 @@ LAB_FIGURES = {
 #: Figures derived from the paired-link workload run.
 PAIRED_FIGURES = ("baseline", "fig5", "fig7", "fig8", "fig9", "fig10")
 
+#: Beyond-the-paper topology figures on the packet-level simulator.
+TOPOLOGY_FIGURES = ("topo_rtt", "topo_aqm")
+
 
 def _make_cache(args: argparse.Namespace) -> ResultCache | None:
     if not args.cache:
@@ -63,6 +70,50 @@ def _make_cache(args: argparse.Namespace) -> ResultCache | None:
 def _print_lab_figure(name: str, args: argparse.Namespace) -> None:
     figure = LAB_FIGURES[name](jobs=args.jobs, cache=_make_cache(args))
     print("\n".join(figure.summary_lines()))
+
+
+def _parse_rtt_spread(text: str, parser: argparse.ArgumentParser) -> tuple[float, ...]:
+    try:
+        values = tuple(float(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        values = ()
+    if not values or any(v <= 0 for v in values):
+        parser.error(f"--rtt-spread needs positive comma-separated ms values, got {text!r}")
+    return values
+
+
+def _parse_disciplines(text: str, parser: argparse.ArgumentParser) -> tuple[str, ...]:
+    from repro.netsim.packet.queue import QUEUE_DISCIPLINES
+
+    names = tuple(part.strip() for part in text.split(",") if part.strip())
+    unknown = [name for name in names if name not in QUEUE_DISCIPLINES]
+    if not names or unknown:
+        parser.error(
+            f"--disciplines needs comma-separated names from "
+            f"{', '.join(sorted(QUEUE_DISCIPLINES))}; got {text!r}"
+        )
+    return names
+
+
+def _print_topology_figure(
+    name: str, args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> None:
+    if name == "topo_rtt":
+        figure = run_rtt_experiment(
+            rtt_spread_ms=_parse_rtt_spread(args.rtt_spread, parser),
+            quick=args.quick,
+            jobs=args.jobs,
+            cache=_make_cache(args),
+        )
+        print("\n".join(figure.summary_lines()))
+        return
+    comparison = run_aqm_experiment(
+        disciplines=_parse_disciplines(args.disciplines, parser),
+        quick=args.quick,
+        jobs=args.jobs,
+        cache=_make_cache(args),
+    )
+    print("\n".join(comparison.summary_lines()))
 
 
 def _run_paired(args: argparse.Namespace):
@@ -175,21 +226,27 @@ def _run_sweep(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
         parser.error("--replications must be at least 1")
 
     # Only include knobs the figure actually consumes: noise applies to lab
-    # figures, quick to paired-link figures.  Keeping inert flags out of the
-    # spec keeps them out of the content key, so they cannot split the cache.
+    # figures, quick to paired-link and topology figures.  Keeping inert
+    # flags out of the spec keeps them out of the content key, so they
+    # cannot split the cache.
     params: dict[str, object] = {"figure": target}
     if target in LAB_FIGURES:
         params["noise"] = args.noise
     else:
         params["quick"] = args.quick
+    # Topology figures ignore the seed entirely (packet sims are
+    # deterministic), so replications would recompute identical cells;
+    # collapse them to one seed-free run.
+    deterministic = target in TOPOLOGY_FIGURES
+    replication_count = 1 if deterministic else args.replications
     specs = [
         ScenarioSpec(
             task="figure.cells",
             params=params,
-            seed=args.seed + r,
+            seed=None if deterministic else args.seed + r,
             label=f"sweep[{target}, seed={args.seed + r}]",
         )
-        for r in range(args.replications)
+        for r in range(replication_count)
     ]
     executor = ParallelExecutor(jobs=args.jobs, cache=_make_cache(args))
     replications = executor.map(specs)
@@ -200,10 +257,13 @@ def _run_sweep(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
         values = np.array([float(rep[cell]) for rep in replications])
         half = _confidence_half_width(values)
         rows.append([cell, f"{values.mean():+.3f}", f"±{half:.3f}", str(len(values))])
-    print(
-        f"{target}: {args.replications} replication(s), "
-        f"seeds {args.seed}..{args.seed + args.replications - 1}"
-    )
+    if deterministic:
+        print(f"{target}: deterministic figure, 1 replication (seeds have no effect)")
+    else:
+        print(
+            f"{target}: {args.replications} replication(s), "
+            f"seeds {args.seed}..{args.seed + args.replications - 1}"
+        )
     print(format_table(["cell", "mean", "95% CI", "n"], rows))
     return 0
 
@@ -218,7 +278,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "figure",
-        choices=["list", "sweep", *LAB_FIGURES, *PAIRED_FIGURES],
+        choices=["list", "sweep", *LAB_FIGURES, *PAIRED_FIGURES, *TOPOLOGY_FIGURES],
         help="which figure to reproduce ('list' to enumerate, 'sweep' to replicate one)",
     )
     parser.add_argument(
@@ -250,6 +310,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="measurement-noise level for lab figures under 'sweep' (default: 0.02)",
     )
     parser.add_argument(
+        "--rtt-spread",
+        default="10,20,40,80",
+        help="per-unit RTT profile for topo_rtt, comma-separated ms (default: 10,20,40,80)",
+    )
+    parser.add_argument(
+        "--disciplines",
+        default="droptail,codel",
+        help="queue disciplines compared by topo_aqm (default: droptail,codel)",
+    )
+    parser.add_argument(
         "--cache",
         action="store_true",
         help="reuse results of unchanged runs from the on-disk cache",
@@ -273,12 +343,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.figure == "list":
         print("lab figures:        " + ", ".join(sorted(LAB_FIGURES)))
         print("paired-link figures: " + ", ".join(PAIRED_FIGURES))
+        print("topology figures:    " + ", ".join(TOPOLOGY_FIGURES))
         print("sweepable figures:   " + ", ".join(FIGURE_CELL_TASKS))
         return 0
     if args.figure == "sweep":
         return _run_sweep(args, parser)
     if args.figure in LAB_FIGURES:
         _print_lab_figure(args.figure, args)
+    elif args.figure in TOPOLOGY_FIGURES:
+        _print_topology_figure(args.figure, args, parser)
     else:
         _print_paired_figure(args.figure, args)
     return 0

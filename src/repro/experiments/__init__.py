@@ -7,6 +7,9 @@ substrate and returns the rows/series behind the paper's figures:
   connections).
 * :mod:`repro.experiments.lab_pacing` — Figure 2b (pacing).
 * :mod:`repro.experiments.lab_cc` — Figure 3 (Cubic vs BBR).
+* :mod:`repro.experiments.lab_topology` — beyond-the-paper topology
+  scenarios: A/B bias under heterogeneous RTTs and under AQM (CoDel/RED)
+  vs drop-tail, on the packet-level simulator.
 * :mod:`repro.experiments.baseline_validation` — the Section 4.1 baseline
   link-similarity table.
 * :mod:`repro.experiments.paired_link` — the Section 4 bitrate-capping
@@ -15,10 +18,19 @@ substrate and returns the rows/series behind the paper's figures:
   switchback and event study (Figures 10-12) and the A/A calibration.
 """
 
-from repro.experiments.lab_common import LabFigure, sweep_to_figure
+from repro.experiments.lab_common import (
+    LabFigure,
+    packet_sweep_to_figure,
+    sweep_to_figure,
+)
 from repro.experiments.lab_connections import run_connections_experiment
 from repro.experiments.lab_pacing import run_pacing_experiment
 from repro.experiments.lab_cc import run_cc_experiment
+from repro.experiments.lab_topology import (
+    AqmBiasComparison,
+    run_aqm_experiment,
+    run_rtt_experiment,
+)
 from repro.experiments.paired_link import PairedLinkExperiment, PairedLinkOutcome
 from repro.experiments.baseline_validation import compare_links_at_baseline
 from repro.experiments.alternate_designs import (
@@ -36,9 +48,13 @@ from repro.experiments.gradual_deployment import (
 __all__ = [
     "LabFigure",
     "sweep_to_figure",
+    "packet_sweep_to_figure",
     "run_connections_experiment",
     "run_pacing_experiment",
     "run_cc_experiment",
+    "AqmBiasComparison",
+    "run_rtt_experiment",
+    "run_aqm_experiment",
     "PairedLinkExperiment",
     "PairedLinkOutcome",
     "compare_links_at_baseline",

@@ -11,11 +11,15 @@ spillover) so benchmarks and examples can print them directly.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.estimands import PotentialOutcomeCurve
 from repro.netsim.fluid.lab import LAB_METRICS, LabSweepResult
 
-__all__ = ["LabFigureRow", "LabFigure", "sweep_to_figure"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.netsim.packet.sweep import PacketSweepResult
+
+__all__ = ["LabFigureRow", "LabFigure", "sweep_to_figure", "packet_sweep_to_figure"]
 
 
 @dataclass(frozen=True)
@@ -119,6 +123,47 @@ def sweep_to_figure(sweep: LabSweepResult, name: str, description: str) -> LabFi
                 ),
                 control_retransmit=(
                     result.group_mean("retransmit_fraction", False) if k < n else None
+                ),
+            )
+        )
+    return LabFigure(
+        name=name,
+        description=description,
+        rows=rows,
+        throughput_curve=sweep.curve("throughput_mbps"),
+        retransmit_curve=sweep.curve("retransmit_fraction"),
+    )
+
+
+def packet_sweep_to_figure(
+    sweep: PacketSweepResult, name: str, description: str
+) -> LabFigure:
+    """Convert a packet-level allocation sweep into the figure representation.
+
+    The packet and fluid sweeps expose the same potential-outcome curve
+    interface, so the resulting :class:`LabFigure` is interchangeable with
+    the fluid-model figures downstream (summary lines, TTE, spillover).
+    """
+    rows: list[LabFigureRow] = []
+    for k in sorted(sweep.results):
+        result = sweep.results[k]
+        n = sweep.n_units
+        rows.append(
+            LabFigureRow(
+                n_treated=k,
+                n_control=n - k,
+                allocation=k / n,
+                treatment_throughput_mbps=(
+                    result.group_mean_throughput(True) if k > 0 else None
+                ),
+                control_throughput_mbps=(
+                    result.group_mean_throughput(False) if k < n else None
+                ),
+                treatment_retransmit=(
+                    result.group_mean_retransmit(True) if k > 0 else None
+                ),
+                control_retransmit=(
+                    result.group_mean_retransmit(False) if k < n else None
                 ),
             )
         )

@@ -2,11 +2,18 @@
 
 This substrate reproduces the lab testbed of Section 3 from first
 principles: senders with simplified Reno, Cubic or BBR congestion control
-(optionally paced) share a drop-tail bottleneck queue; throughput and
+(optionally paced) share one or more bottleneck queues; throughput and
 retransmissions are measured per flow.
 
+The topology is composable (:mod:`repro.netsim.packet.network`): queue
+disciplines are pluggable (drop-tail, RED, CoDel — see
+:mod:`repro.netsim.packet.queue`), each flow can carry its own RTT and
+path, and paths may include a random-loss segment or a sequence of
+queues.  The default remains the paper's testbed: a single drop-tail
+bottleneck with one symmetric RTT.
+
 The simulator is intentionally compact — it models exactly what the
-paper's lab experiments exercise (window dynamics, ack clocking, drop-tail
+lab experiments exercise (window dynamics, ack clocking, queue-discipline
 losses, pacing, BBR's rate-based probing) and nothing else (no SACK, no
 delayed acks, no slow-start restart).  It exists to validate the fluid
 model's sharing behaviour and to support ablation benchmarks.
@@ -15,14 +22,29 @@ Public entry point: :func:`repro.netsim.packet.simulation.simulate`.
 """
 
 from repro.netsim.packet.engine import EventScheduler
-from repro.netsim.packet.queue import DropTailQueue
+from repro.netsim.packet.network import Network, PathConfig
+from repro.netsim.packet.queue import (
+    QUEUE_DISCIPLINES,
+    CoDelQueue,
+    DropTailQueue,
+    QueueDiscipline,
+    REDQueue,
+    make_queue,
+)
 from repro.netsim.packet.simulation import FlowConfig, PacketSimResult, simulate
 from repro.netsim.packet.sweep import PacketSweepResult, run_packet_sweep
 from repro.netsim.packet.tcp import BBRSender, CubicSender, RenoSender, TcpSender
 
 __all__ = [
     "EventScheduler",
+    "QueueDiscipline",
     "DropTailQueue",
+    "REDQueue",
+    "CoDelQueue",
+    "QUEUE_DISCIPLINES",
+    "make_queue",
+    "Network",
+    "PathConfig",
     "FlowConfig",
     "PacketSimResult",
     "simulate",

@@ -1,0 +1,326 @@
+"""Composable network model: paths, queues and the topology builder.
+
+The original harness hard-coded one drop-tail bottleneck and one
+symmetric RTT shared by every flow.  This module decomposes that
+topology into parts that can be recombined:
+
+* :class:`PathConfig` — the route one application's packets take: a
+  per-flow one-way propagation profile (``rtt_ms``), an optional
+  random-loss segment (``loss_rate``, losses independent of congestion,
+  as on an impaired link), and an ordered sequence of named bottleneck
+  queues.
+* :class:`Network` — the builder that wires TCP senders, paths and
+  queue disciplines through one :class:`~repro.netsim.packet.engine.EventScheduler`
+  and assembles the per-application results.
+
+For the default configuration — a single drop-tail ``"bottleneck"``
+queue, no loss segment, every flow on the network RTT — the builder
+produces an event sequence identical to the historical single-link
+harness, so :func:`repro.netsim.packet.simulation.simulate` remains
+byte-for-byte reproducible (asserted by the golden-output test).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.netsim.packet.engine import EventScheduler
+from repro.netsim.packet.packets import Packet
+from repro.netsim.packet.queue import QUEUE_DISCIPLINES, QueueDiscipline, make_queue
+from repro.netsim.packet.tcp import make_sender
+from repro.netsim.packet.tcp.base import TcpSender
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.netsim.packet.simulation import FlowConfig, PacketSimResult
+
+__all__ = ["DEFAULT_QUEUE", "PathConfig", "Network"]
+
+#: Name of the bottleneck queue every flow crosses unless its path says otherwise.
+DEFAULT_QUEUE = "bottleneck"
+
+
+@dataclass(frozen=True)
+class PathConfig:
+    """The network path of one application's packets.
+
+    Attributes
+    ----------
+    rtt_ms:
+        Two-way propagation delay of this path, excluding queueing.
+        ``None`` inherits the network's base RTT.
+    loss_rate:
+        Probability that a packet is lost on an impaired segment before
+        reaching the first queue.  These losses are independent of
+        congestion (cf. corruption losses on a degraded link).
+    queues:
+        Names of the bottleneck queues the path crosses, in order.  Every
+        name must exist on the :class:`Network` the flow is attached to.
+    """
+
+    rtt_ms: float | None = None
+    loss_rate: float = 0.0
+    queues: tuple[str, ...] = (DEFAULT_QUEUE,)
+
+    def __post_init__(self) -> None:
+        if self.rtt_ms is not None and self.rtt_ms <= 0:
+            raise ValueError("rtt_ms must be positive")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        if not self.queues:
+            raise ValueError("a path must cross at least one queue")
+        if len(set(self.queues)) != len(self.queues):
+            # Routing is by queue name, so a path may visit each queue once.
+            raise ValueError(f"path queues must be distinct, got {self.queues}")
+
+
+class Network:
+    """Builder wiring senders, paths and queues through one scheduler.
+
+    Parameters
+    ----------
+    capacity_mbps:
+        Capacity of the default ``"bottleneck"`` queue, in Mb/s.
+    base_rtt_ms:
+        Two-way propagation delay flows inherit when their config does
+        not carry its own ``rtt_ms``; also sizes the default buffer.
+    buffer_bdp:
+        Default queue's buffer in bandwidth-delay products of
+        (``capacity_mbps``, ``base_rtt_ms``).
+    mss_bytes:
+        Segment size used by every sender.
+    queue_discipline:
+        Discipline of the default queue (``"droptail"``, ``"red"``,
+        ``"codel"``).
+    queue_params:
+        Extra constructor parameters for the default queue's discipline.
+    seed:
+        Seed of the random-loss RNG (``None`` means 0), also forwarded to
+        queue disciplines with an internal RNG (RED) unless
+        ``queue_params`` pins its own ``seed``.  Inert when no path has a
+        loss segment and the discipline draws no randomness.
+    """
+
+    def __init__(
+        self,
+        *,
+        capacity_mbps: float = 100.0,
+        base_rtt_ms: float = 20.0,
+        buffer_bdp: float = 1.0,
+        mss_bytes: int = 1500,
+        queue_discipline: str = "droptail",
+        queue_params: dict[str, Any] | None = None,
+        seed: int | None = None,
+    ):
+        if capacity_mbps <= 0:
+            raise ValueError("capacity_mbps must be positive")
+        if base_rtt_ms <= 0:
+            raise ValueError("base_rtt_ms must be positive")
+        self.scheduler = EventScheduler()
+        self.capacity_mbps = float(capacity_mbps)
+        self.base_rtt_ms = float(base_rtt_ms)
+        self.mss_bytes = int(mss_bytes)
+        self._seed = 0 if seed is None else int(seed)
+        self._rng = random.Random(self._seed)
+
+        self._queues: dict[str, QueueDiscipline] = {}
+        self._senders: dict[int, TcpSender] = {}
+        self._connection_owner: dict[int, int] = {}
+        self._routes: dict[int, tuple[str, ...]] = {}
+        self._rtt_s: dict[int, float] = {}
+        self._loss_rate: dict[int, float] = {}
+        self._flow_configs: list[FlowConfig] = []
+        self._next_connection = 0
+
+        #: Packets lost on impaired path segments (not queue drops).
+        self.random_losses = 0
+
+        rate_bps = self.capacity_mbps * 1e6
+        bdp_bytes = rate_bps / 8.0 * self.base_rtt_ms / 1000.0
+        self.add_queue(
+            DEFAULT_QUEUE,
+            capacity_mbps=capacity_mbps,
+            buffer_bytes=max(buffer_bdp * bdp_bytes, 2 * self.mss_bytes),
+            discipline=queue_discipline,
+            **(queue_params or {}),
+        )
+
+    # -- topology -------------------------------------------------------------
+
+    @property
+    def queues(self) -> dict[str, QueueDiscipline]:
+        """The network's queues by name (read-only view by convention)."""
+        return self._queues
+
+    def add_queue(
+        self,
+        name: str,
+        *,
+        capacity_mbps: float,
+        buffer_bytes: float | None = None,
+        buffer_bdp: float | None = None,
+        discipline: str = "droptail",
+        **params: Any,
+    ) -> QueueDiscipline:
+        """Add a named bottleneck queue flows can route through.
+
+        The buffer is given either directly (``buffer_bytes``) or in
+        bandwidth-delay products of this queue's capacity and the
+        network's base RTT (``buffer_bdp``).
+        """
+        if name in self._queues:
+            raise ValueError(f"queue {name!r} already exists")
+        if (buffer_bytes is None) == (buffer_bdp is None):
+            raise ValueError("specify exactly one of buffer_bytes / buffer_bdp")
+        rate_bps = float(capacity_mbps) * 1e6
+        if buffer_bytes is None:
+            bdp = rate_bps / 8.0 * self.base_rtt_ms / 1000.0
+            buffer_bytes = max(buffer_bdp * bdp, 2 * self.mss_bytes)
+        if QUEUE_DISCIPLINES.get(discipline, QueueDiscipline).uses_seed:
+            params.setdefault("seed", self._seed)
+        queue = make_queue(
+            discipline,
+            self.scheduler,
+            rate_bps,
+            buffer_bytes,
+            self._departure_handler(name),
+            self._drop_handler(),
+            **params,
+        )
+        self._queues[name] = queue
+        return queue
+
+    def add_flow(self, config: FlowConfig) -> None:
+        """Attach one application: its connections, path and queues."""
+        if any(config.flow_id == f.flow_id for f in self._flow_configs):
+            raise ValueError(f"flow id {config.flow_id} already attached")
+        path = config.path if config.path is not None else PathConfig()
+        for name in path.queues:
+            if name not in self._queues:
+                raise KeyError(
+                    f"flow {config.flow_id} routes through unknown queue {name!r}; "
+                    f"known queues: {sorted(self._queues)}"
+                )
+        rtt_ms = config.rtt_ms if config.rtt_ms is not None else path.rtt_ms
+        rtt_s = (rtt_ms if rtt_ms is not None else self.base_rtt_ms) / 1000.0
+        for _ in range(config.connections):
+            cid = self._next_connection
+            self._next_connection += 1
+            sender = make_sender(
+                config.cc,
+                cid,
+                self.scheduler,
+                self._ingress,
+                mss_bytes=self.mss_bytes,
+                base_rtt_s=rtt_s,
+                paced=config.paced,
+            )
+            self._senders[cid] = sender
+            self._connection_owner[cid] = config.flow_id
+            self._routes[cid] = path.queues
+            self._rtt_s[cid] = rtt_s
+            self._loss_rate[cid] = path.loss_rate
+        self._flow_configs.append(config)
+
+    # -- packet forwarding -----------------------------------------------------
+
+    def _ingress(self, packet: Packet) -> None:
+        """Entry point for sender transmissions: loss segment, then first queue."""
+        cid = packet.flow_id
+        loss_rate = self._loss_rate[cid]
+        if loss_rate > 0.0 and self._rng.random() < loss_rate:
+            self.random_losses += 1
+            self._notify_loss(packet, self.scheduler.now)
+            return
+        self._queues[self._routes[cid][0]].enqueue(packet)
+
+    def _departure_handler(self, queue_name: str):
+        def on_departure(packet: Packet, departure_time: float) -> None:
+            route = self._routes[packet.flow_id]
+            hop = route.index(queue_name)
+            if hop + 1 < len(route):
+                self._queues[route[hop + 1]].enqueue(packet)
+                return
+            sender = self._senders[packet.flow_id]
+            ack_time = departure_time + self._rtt_s[packet.flow_id]
+
+            def deliver_ack(sender=sender, packet=packet, ack_time=ack_time) -> None:
+                rtt_sample = ack_time - packet.send_time
+                sender.handle_ack(packet, rtt_sample)
+
+            self.scheduler.schedule(ack_time, deliver_ack)
+
+        return on_departure
+
+    def _drop_handler(self):
+        def on_drop(packet: Packet, drop_time: float) -> None:
+            self._notify_loss(packet, drop_time)
+
+        return on_drop
+
+    def _notify_loss(self, packet: Packet, loss_time: float) -> None:
+        sender = self._senders[packet.flow_id]
+        notify_time = loss_time + self._rtt_s[packet.flow_id]
+
+        def deliver_loss(sender=sender, packet=packet) -> None:
+            sender.handle_loss(packet)
+
+        self.scheduler.schedule(notify_time, deliver_loss)
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, duration_s: float, warmup_s: float) -> PacketSimResult:
+        """Run the simulation and assemble per-application results."""
+        from repro.netsim.packet.simulation import FlowResult, PacketSimResult
+
+        if not self._flow_configs:
+            raise ValueError("at least one flow is required")
+        if duration_s <= warmup_s:
+            raise ValueError("duration_s must exceed warmup_s")
+
+        # Stagger starts slightly to avoid perfectly synchronized slow
+        # starts; each sender starts within its own first RTT.
+        n = max(len(self._senders), 1)
+        for i, sender in enumerate(self._senders.values()):
+            self.scheduler.schedule(i * sender.base_rtt_s / n, sender.start)
+
+        def begin_measurements() -> None:
+            for sender in self._senders.values():
+                sender.begin_measurement()
+
+        self.scheduler.schedule(warmup_s, begin_measurements)
+        self.scheduler.run(until=duration_s)
+
+        results: list[FlowResult] = []
+        for config in self._flow_configs:
+            own = [
+                self._senders[cid]
+                for cid, owner in self._connection_owner.items()
+                if owner == config.flow_id
+            ]
+            throughput = sum(s.goodput_mbps(duration_s) for s in own)
+            sent = sum(s.measured_bytes_sent for s in own)
+            retx = sum(s.measured_bytes_retransmitted for s in own)
+            results.append(
+                FlowResult(
+                    flow_id=config.flow_id,
+                    treated=config.treated,
+                    throughput_mbps=throughput,
+                    retransmit_fraction=retx / sent if sent > 0 else 0.0,
+                    packets_sent=sum(s.packets_sent for s in own),
+                    packets_lost=sum(s.packets_lost for s in own),
+                )
+            )
+
+        return PacketSimResult(
+            flows=results,
+            duration_s=duration_s,
+            capacity_mbps=self.capacity_mbps,
+            total_drops=sum(q.packets_dropped for q in self._queues.values())
+            + self.random_losses,
+            max_queue_occupancy_bytes=max(
+                q.max_occupancy_bytes for q in self._queues.values()
+            ),
+            queue_drops={name: q.packets_dropped for name, q in self._queues.items()},
+        )

@@ -1,25 +1,45 @@
-"""Drop-tail bottleneck queue.
+"""Bottleneck queue disciplines.
 
-The congestion point of the lab testbed: a FIFO queue draining at the link
-rate, with a finite buffer.  Packets arriving to a full buffer are dropped.
-The queue reports each packet's departure (delivery toward the receiver)
-and each drop to callbacks supplied by the simulation, and keeps counters
-used by the result metrics.
+The congestion point of the lab testbed: a queue draining at the link
+rate, with a finite buffer.  :class:`QueueDiscipline` owns the service
+machinery shared by every discipline — the event-driven drain loop, the
+occupancy/served/dropped counters and the departure/drop callbacks — and
+leaves two decisions to subclasses:
+
+* *admission* (:meth:`QueueDiscipline._admit`): whether an arriving
+  packet enters the buffer (drop-tail's full-buffer check, RED's
+  probabilistic early drop);
+* *dequeue* (:meth:`QueueDiscipline._next_packet`): which waiting packet
+  enters service next (CoDel drops stale packets here, after measuring
+  their sojourn time).
+
+Disciplines are registered by name in :data:`QUEUE_DISCIPLINES` so
+scenario specs can select them with a plain string; :func:`make_queue`
+is the corresponding factory.
 """
 
 from __future__ import annotations
 
+import math
+import random
 from collections import deque
 from collections.abc import Callable
 
 from repro.netsim.packet.engine import EventScheduler
 from repro.netsim.packet.packets import Packet
 
-__all__ = ["DropTailQueue"]
+__all__ = [
+    "QueueDiscipline",
+    "DropTailQueue",
+    "REDQueue",
+    "CoDelQueue",
+    "QUEUE_DISCIPLINES",
+    "make_queue",
+]
 
 
-class DropTailQueue:
-    """A FIFO drop-tail queue served at a fixed rate.
+class QueueDiscipline:
+    """Base class for bottleneck queues served at a fixed rate.
 
     Parameters
     ----------
@@ -29,14 +49,22 @@ class DropTailQueue:
         Drain (link) rate in bits per second.
     buffer_bytes:
         Maximum number of bytes the queue can hold (excluding the packet
-        currently being transmitted).
+        currently being transmitted).  Every discipline enforces this as
+        a hard limit; AQM disciplines drop earlier.
     on_departure:
         Callback invoked as ``on_departure(packet, departure_time)`` when a
         packet finishes transmission.
     on_drop:
         Callback invoked as ``on_drop(packet, drop_time)`` when a packet is
-        dropped on arrival.
+        dropped (on arrival, or — for CoDel — at dequeue).
     """
+
+    #: Registry name; subclasses override.
+    name = "base"
+
+    #: Whether the discipline's constructor takes a ``seed`` for an internal
+    #: RNG.  The network builder forwards its seed to such disciplines.
+    uses_seed = False
 
     def __init__(
         self,
@@ -56,13 +84,17 @@ class DropTailQueue:
         self._on_departure = on_departure
         self._on_drop = on_drop
 
-        self._queue: deque[Packet] = deque()
+        #: Waiting packets, each paired with its arrival time.
+        self._queue: deque[tuple[Packet, float]] = deque()
         self._queued_bytes = 0.0
         self._busy = False
+        self._service_finish_time = 0.0
 
+        #: Total packets offered to the queue (served + dropped + waiting).
+        self.packets_offered = 0
         #: Total packets that entered service.
         self.packets_served = 0
-        #: Total packets dropped at the tail.
+        #: Total packets dropped.
         self.packets_dropped = 0
         #: Total bytes that entered service.
         self.bytes_served = 0.0
@@ -77,47 +109,301 @@ class DropTailQueue:
         return self._queued_bytes
 
     @property
+    def occupancy_packets(self) -> int:
+        """Packets currently waiting in the buffer."""
+        return len(self._queue)
+
+    @property
+    def buffer_bytes(self) -> float:
+        """Hard buffer limit in bytes."""
+        return self._buffer_bytes
+
+    @property
     def rate_bps(self) -> float:
         """Drain rate in bits per second."""
         return self._rate_bps
 
     def queueing_delay(self) -> float:
-        """Expected waiting time for a packet arriving now, in seconds."""
-        return self._queued_bytes * 8.0 / self._rate_bps
+        """Expected waiting time for a packet arriving now, in seconds.
+
+        Covers the backlogged bytes *and* the residual service time of the
+        packet currently on the wire, so an arrival during a transmission
+        is not underestimated by up to one serialization time.
+        """
+        backlog = self._queued_bytes * 8.0 / self._rate_bps
+        residual = 0.0
+        if self._busy:
+            residual = max(self._service_finish_time - self._scheduler.now, 0.0)
+        return backlog + residual
 
     def transmission_time(self, packet: Packet) -> float:
         """Serialization time of one packet at the link rate, in seconds."""
         return packet.size_bytes * 8.0 / self._rate_bps
+
+    # -- discipline hooks ------------------------------------------------------
+
+    def _on_arrival(self, packet: Packet, now: float) -> None:
+        """Observe an arrival before the admission decision (RED's EWMA)."""
+
+    def _admit(self, packet: Packet, now: float) -> bool:
+        """Decide whether an arriving packet may enter the buffer."""
+        raise NotImplementedError
+
+    def _next_packet(self) -> Packet | None:
+        """Pop the next packet to serve (FIFO); AQM may drop stale ones here."""
+        if not self._queue:
+            return None
+        packet, _ = self._queue.popleft()
+        self._queued_bytes -= packet.size_bytes
+        return packet
 
     # -- operations -----------------------------------------------------------
 
     def enqueue(self, packet: Packet) -> bool:
         """Offer a packet to the queue.  Returns True if accepted, False if dropped."""
         now = self._scheduler.now
-        if self._busy and self._queued_bytes + packet.size_bytes > self._buffer_bytes:
-            self.packets_dropped += 1
-            self._on_drop(packet, now)
-            return False
+        self.packets_offered += 1
+        self._on_arrival(packet, now)
         if self._busy:
-            self._queue.append(packet)
+            if not self._admit(packet, now):
+                self._drop(packet, now)
+                return False
+            self._queue.append((packet, now))
             self._queued_bytes += packet.size_bytes
             self.max_occupancy_bytes = max(self.max_occupancy_bytes, self._queued_bytes)
         else:
             self._start_service(packet)
         return True
 
+    def _drop(self, packet: Packet, time: float) -> None:
+        self.packets_dropped += 1
+        self._on_drop(packet, time)
+
     def _start_service(self, packet: Packet) -> None:
         self._busy = True
         self.packets_served += 1
         self.bytes_served += packet.size_bytes
         finish = self._scheduler.now + self.transmission_time(packet)
+        self._service_finish_time = finish
         self._scheduler.schedule(finish, lambda p=packet: self._finish_service(p))
 
     def _finish_service(self, packet: Packet) -> None:
         self._on_departure(packet, self._scheduler.now)
-        if self._queue:
-            next_packet = self._queue.popleft()
-            self._queued_bytes -= next_packet.size_bytes
+        next_packet = self._next_packet()
+        if next_packet is not None:
             self._start_service(next_packet)
         else:
             self._busy = False
+
+
+class DropTailQueue(QueueDiscipline):
+    """FIFO queue that drops arrivals once the buffer is full (the default)."""
+
+    name = "droptail"
+
+    def _admit(self, packet: Packet, now: float) -> bool:
+        return self._queued_bytes + packet.size_bytes <= self._buffer_bytes
+
+
+class REDQueue(QueueDiscipline):
+    """Random Early Detection (Floyd & Jacobson 1993), simplified.
+
+    Keeps an exponentially weighted moving average of the queue occupancy
+    and drops arrivals probabilistically once the average crosses
+    ``min_threshold``: the drop probability rises linearly from 0 to
+    ``max_drop_probability`` at ``max_threshold`` (with the classic
+    ``1/(1 - count·p)`` spreading term), and is 1 above ``max_threshold``.
+    The hard ``buffer_bytes`` limit still applies.  All randomness comes
+    from ``seed``, so a RED simulation is a pure function of its inputs.
+
+    Parameters
+    ----------
+    min_threshold, max_threshold:
+        EWMA occupancy thresholds as fractions of ``buffer_bytes``.
+    max_drop_probability:
+        Drop probability when the average reaches ``max_threshold``.
+    weight:
+        EWMA weight for each arrival's occupancy sample.
+    seed:
+        Seed of the private drop-decision RNG.
+    """
+
+    name = "red"
+    uses_seed = True
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        rate_bps: float,
+        buffer_bytes: float,
+        on_departure: Callable[[Packet, float], None],
+        on_drop: Callable[[Packet, float], None],
+        min_threshold: float = 0.25,
+        max_threshold: float = 0.75,
+        max_drop_probability: float = 0.1,
+        weight: float = 0.02,
+        seed: int = 0,
+    ):
+        super().__init__(scheduler, rate_bps, buffer_bytes, on_departure, on_drop)
+        if not 0.0 <= min_threshold < max_threshold <= 1.0:
+            raise ValueError("need 0 <= min_threshold < max_threshold <= 1")
+        if not 0.0 < max_drop_probability <= 1.0:
+            raise ValueError("max_drop_probability must be in (0, 1]")
+        if not 0.0 < weight <= 1.0:
+            raise ValueError("weight must be in (0, 1]")
+        self._min_bytes = min_threshold * self._buffer_bytes
+        self._max_bytes = max_threshold * self._buffer_bytes
+        self._max_p = float(max_drop_probability)
+        self._weight = float(weight)
+        self._rng = random.Random(seed)
+        self._avg_bytes = 0.0
+        self._count = -1  # arrivals since the last drop (classic RED spreading)
+
+    def _on_arrival(self, packet: Packet, now: float) -> None:
+        self._avg_bytes += self._weight * (self._queued_bytes - self._avg_bytes)
+
+    def _admit(self, packet: Packet, now: float) -> bool:
+        if self._queued_bytes + packet.size_bytes > self._buffer_bytes:
+            self._count = 0
+            return False
+        if self._avg_bytes < self._min_bytes:
+            self._count = -1
+            return True
+        if self._avg_bytes >= self._max_bytes:
+            self._count = 0
+            return False
+        self._count += 1
+        p_b = self._max_p * (self._avg_bytes - self._min_bytes) / (
+            self._max_bytes - self._min_bytes
+        )
+        p_a = p_b / max(1.0 - self._count * p_b, 1e-9)
+        if self._rng.random() < p_a:
+            self._count = 0
+            return False
+        return True
+
+
+class CoDelQueue(QueueDiscipline):
+    """Controlled Delay AQM (Nichols & Jacobson, RFC 8289), simplified.
+
+    Measures each packet's sojourn time at dequeue.  Once the sojourn has
+    stayed above ``target_delay_s`` for a full ``interval_s`` the queue
+    enters the dropping state and drops packets at increasing frequency
+    (``interval / sqrt(count)``) until the delay falls back below target.
+    Arrivals are only refused by the hard ``buffer_bytes`` limit.
+
+    Parameters
+    ----------
+    target_delay_s:
+        Acceptable standing queue delay (default 5 ms).
+    interval_s:
+        Sliding window over which the delay must persist (default 100 ms).
+    min_backlog_bytes:
+        Never drop while the backlog is at or below this (one MTU).
+    """
+
+    name = "codel"
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        rate_bps: float,
+        buffer_bytes: float,
+        on_departure: Callable[[Packet, float], None],
+        on_drop: Callable[[Packet, float], None],
+        target_delay_s: float = 0.005,
+        interval_s: float = 0.1,
+        min_backlog_bytes: float = 1500.0,
+    ):
+        super().__init__(scheduler, rate_bps, buffer_bytes, on_departure, on_drop)
+        if target_delay_s <= 0 or interval_s <= 0:
+            raise ValueError("target_delay_s and interval_s must be positive")
+        self._target_s = float(target_delay_s)
+        self._interval_s = float(interval_s)
+        self._min_backlog_bytes = float(min_backlog_bytes)
+        self._first_above_time = 0.0
+        self._dropping = False
+        self._drop_next = 0.0
+        self._count = 0
+
+    def _admit(self, packet: Packet, now: float) -> bool:
+        return self._queued_bytes + packet.size_bytes <= self._buffer_bytes
+
+    def _next_packet(self) -> Packet | None:
+        now = self._scheduler.now
+        while self._queue:
+            packet, arrival = self._queue.popleft()
+            self._queued_bytes -= packet.size_bytes
+            if self._should_drop(now - arrival, now):
+                self._drop(packet, now)
+                continue
+            return packet
+        return None
+
+    def _control_law(self, t: float) -> float:
+        return t + self._interval_s / math.sqrt(self._count)
+
+    def _ok_to_drop(self, sojourn_s: float, now: float) -> bool:
+        if sojourn_s < self._target_s or self._queued_bytes <= self._min_backlog_bytes:
+            self._first_above_time = 0.0
+            return False
+        if self._first_above_time == 0.0:
+            self._first_above_time = now + self._interval_s
+            return False
+        return now >= self._first_above_time
+
+    def _should_drop(self, sojourn_s: float, now: float) -> bool:
+        ok = self._ok_to_drop(sojourn_s, now)
+        if self._dropping:
+            if not ok:
+                self._dropping = False
+                return False
+            if now >= self._drop_next:
+                self._count += 1
+                self._drop_next = self._control_law(self._drop_next)
+                return True
+            return False
+        if ok:
+            self._dropping = True
+            # Re-entering a recent dropping episode resumes at a higher
+            # drop frequency instead of restarting from one.
+            if now - self._drop_next < self._interval_s:
+                self._count = max(self._count - 2, 1)
+            else:
+                self._count = 1
+            self._drop_next = self._control_law(now)
+            return True
+        return False
+
+
+#: Queue disciplines selectable by name in scenario specs.
+QUEUE_DISCIPLINES: dict[str, type[QueueDiscipline]] = {
+    DropTailQueue.name: DropTailQueue,
+    REDQueue.name: REDQueue,
+    CoDelQueue.name: CoDelQueue,
+}
+
+
+def make_queue(
+    discipline: str,
+    scheduler: EventScheduler,
+    rate_bps: float,
+    buffer_bytes: float,
+    on_departure: Callable[[Packet, float], None],
+    on_drop: Callable[[Packet, float], None],
+    **params: float,
+) -> QueueDiscipline:
+    """Construct a queue discipline by registry name.
+
+    ``params`` are forwarded to the discipline's constructor (thresholds,
+    target delay, seed, ...); passing a parameter the discipline does not
+    accept raises ``TypeError``.
+    """
+    try:
+        cls = QUEUE_DISCIPLINES[discipline]
+    except KeyError:
+        raise ValueError(
+            f"unknown queue discipline {discipline!r}; "
+            f"expected one of {sorted(QUEUE_DISCIPLINES)}"
+        ) from None
+    return cls(scheduler, rate_bps, buffer_bytes, on_departure, on_drop, **params)

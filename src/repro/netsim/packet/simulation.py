@@ -1,25 +1,25 @@
-"""Single-bottleneck packet-level simulation harness.
+"""Packet-level simulation harness.
 
-Builds the lab topology — ``n`` applications, each with one or more TCP
-connections, all crossing one drop-tail bottleneck — runs it for a fixed
+Builds a lab topology — ``n`` applications, each with one or more TCP
+connections, crossing one or more bottleneck queues — runs it for a fixed
 duration, and reports per-application throughput and retransmission
 fraction measured after a warm-up period.
 
-The topology mirrors the paper's testbed: the only congestion point is the
-bottleneck queue; propagation delay is symmetric; receivers acknowledge
-every packet immediately.
+The default topology mirrors the paper's testbed: a single drop-tail
+bottleneck, symmetric propagation delay, receivers acknowledging every
+packet immediately.  Beyond the default, every axis is composable via
+:mod:`repro.netsim.packet.network`: per-flow RTTs (``FlowConfig.rtt_ms``),
+AQM queue disciplines (``queue_discipline="red"`` / ``"codel"``), and
+random-loss path segments (``FlowConfig.path``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from collections.abc import Sequence
+from dataclasses import dataclass, field
+from collections.abc import Mapping, Sequence
+from typing import Any
 
-from repro.netsim.packet.engine import EventScheduler
-from repro.netsim.packet.packets import Packet
-from repro.netsim.packet.queue import DropTailQueue
-from repro.netsim.packet.tcp import make_sender
-from repro.netsim.packet.tcp.base import TcpSender
+from repro.netsim.packet.network import Network, PathConfig
 
 __all__ = ["FlowConfig", "FlowResult", "PacketSimResult", "simulate"]
 
@@ -41,6 +41,14 @@ class FlowConfig:
         (BBR always paces).
     treated:
         Arm label carried through to the results; does not change behaviour.
+    rtt_ms:
+        This application's two-way propagation delay.  ``None`` inherits
+        the simulation's ``base_rtt_ms``; setting it overrides the path's
+        ``rtt_ms`` too.
+    path:
+        Network path of this application's packets (loss segment, queue
+        sequence).  ``None`` means the default path through the single
+        bottleneck.
     """
 
     flow_id: int
@@ -48,10 +56,14 @@ class FlowConfig:
     connections: int = 1
     paced: bool = False
     treated: bool = False
+    rtt_ms: float | None = None
+    path: PathConfig | None = None
 
     def __post_init__(self) -> None:
         if self.connections < 1:
             raise ValueError("connections must be at least 1")
+        if self.rtt_ms is not None and self.rtt_ms <= 0:
+            raise ValueError("rtt_ms must be positive")
 
 
 @dataclass
@@ -75,6 +87,8 @@ class PacketSimResult:
     capacity_mbps: float
     total_drops: int
     max_queue_occupancy_bytes: float
+    #: Drops per named queue (one entry, "bottleneck", in the default topology).
+    queue_drops: dict[str, int] = field(default_factory=dict)
 
     def flow(self, flow_id: int) -> FlowResult:
         """Result of the application with the given id."""
@@ -110,8 +124,15 @@ def simulate(
     mss_bytes: int = 1500,
     duration_s: float = 10.0,
     warmup_s: float = 2.0,
+    queue_discipline: str = "droptail",
+    queue_params: Mapping[str, Any] | None = None,
+    seed: int | None = None,
 ) -> PacketSimResult:
-    """Run a packet-level simulation of flows sharing one bottleneck.
+    """Run a packet-level simulation of flows sharing a bottleneck.
+
+    A thin wrapper over :class:`~repro.netsim.packet.network.Network`:
+    builds the default single-bottleneck topology, attaches every flow
+    (honouring per-flow ``rtt_ms`` and ``path`` overrides) and runs it.
 
     Parameters
     ----------
@@ -122,7 +143,8 @@ def simulate(
         down from the paper's 10 Gb/s so simulations complete quickly; the
         sharing behaviour under study is rate-independent.
     base_rtt_ms:
-        Two-way propagation delay in milliseconds.
+        Two-way propagation delay in milliseconds; flows with their own
+        ``rtt_ms`` override it.
     buffer_bdp:
         Bottleneck buffer in bandwidth-delay products (paper: 1 BDP).
     mss_bytes:
@@ -131,6 +153,15 @@ def simulate(
         Total simulated time.
     warmup_s:
         Time excluded from measurements while flows ramp up.
+    queue_discipline:
+        Bottleneck queue discipline: ``"droptail"`` (default), ``"red"``
+        or ``"codel"``.
+    queue_params:
+        Extra parameters for the queue discipline (RED thresholds, CoDel
+        target delay, ...).
+    seed:
+        Seed for the random-loss and RED RNGs; inert for the default
+        loss-free drop-tail topology.
     """
     if not flows:
         raise ValueError("at least one flow is required")
@@ -140,87 +171,15 @@ def simulate(
     if len(set(ids)) != len(ids):
         raise ValueError("flow ids must be unique")
 
-    scheduler = EventScheduler()
-    rate_bps = capacity_mbps * 1e6
-    base_rtt_s = base_rtt_ms / 1000.0
-    bdp_bytes = rate_bps / 8.0 * base_rtt_s
-    buffer_bytes = max(buffer_bdp * bdp_bytes, 2 * mss_bytes)
-
-    senders: dict[int, TcpSender] = {}
-    connection_owner: dict[int, int] = {}
-
-    def on_departure(packet: Packet, departure_time: float) -> None:
-        sender = senders[packet.flow_id]
-        ack_time = departure_time + base_rtt_s
-
-        def deliver_ack(sender=sender, packet=packet, ack_time=ack_time) -> None:
-            rtt_sample = ack_time - packet.send_time
-            sender.handle_ack(packet, rtt_sample)
-
-        scheduler.schedule(ack_time, deliver_ack)
-
-    def on_drop(packet: Packet, drop_time: float) -> None:
-        sender = senders[packet.flow_id]
-        notify_time = drop_time + base_rtt_s
-
-        def deliver_loss(sender=sender, packet=packet) -> None:
-            sender.handle_loss(packet)
-
-        scheduler.schedule(notify_time, deliver_loss)
-
-    queue = DropTailQueue(scheduler, rate_bps, buffer_bytes, on_departure, on_drop)
-
-    connection_id = 0
-    for config in flows:
-        for _ in range(config.connections):
-            sender = make_sender(
-                config.cc,
-                connection_id,
-                scheduler,
-                queue.enqueue,
-                mss_bytes=mss_bytes,
-                base_rtt_s=base_rtt_s,
-                paced=config.paced,
-            )
-            senders[connection_id] = sender
-            connection_owner[connection_id] = config.flow_id
-            connection_id += 1
-
-    # Stagger starts slightly to avoid perfectly synchronized slow starts.
-    for i, sender in enumerate(senders.values()):
-        scheduler.schedule(i * base_rtt_s / max(len(senders), 1), sender.start)
-
-    def begin_measurements() -> None:
-        for sender in senders.values():
-            sender.begin_measurement()
-
-    scheduler.schedule(warmup_s, begin_measurements)
-    scheduler.run(until=duration_s)
-
-    results: list[FlowResult] = []
-    for config in flows:
-        own_senders = [
-            senders[cid] for cid, owner in connection_owner.items() if owner == config.flow_id
-        ]
-        throughput = sum(s.goodput_mbps(duration_s) for s in own_senders)
-        sent = sum(s.bytes_sent - s._bytes_sent_at_start for s in own_senders)
-        retx = sum(s.bytes_retransmitted - s._bytes_retx_at_start for s in own_senders)
-        retransmit_fraction = retx / sent if sent > 0 else 0.0
-        results.append(
-            FlowResult(
-                flow_id=config.flow_id,
-                treated=config.treated,
-                throughput_mbps=throughput,
-                retransmit_fraction=retransmit_fraction,
-                packets_sent=sum(s.packets_sent for s in own_senders),
-                packets_lost=sum(s.packets_lost for s in own_senders),
-            )
-        )
-
-    return PacketSimResult(
-        flows=results,
-        duration_s=duration_s,
+    network = Network(
         capacity_mbps=capacity_mbps,
-        total_drops=queue.packets_dropped,
-        max_queue_occupancy_bytes=queue.max_occupancy_bytes,
+        base_rtt_ms=base_rtt_ms,
+        buffer_bdp=buffer_bdp,
+        mss_bytes=mss_bytes,
+        queue_discipline=queue_discipline,
+        queue_params=dict(queue_params) if queue_params else None,
+        seed=seed,
     )
+    for config in flows:
+        network.add_flow(config)
+    return network.run(duration_s=duration_s, warmup_s=warmup_s)

@@ -12,9 +12,11 @@ unchanged — this is what the packet-vs-fluid ablation builds on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from collections.abc import Callable
+from collections.abc import Callable, Mapping, Sequence
+from typing import Any
 
 from repro.core.estimands import PotentialOutcomeCurve
+from repro.netsim.packet.network import PathConfig
 from repro.netsim.packet.simulation import FlowConfig, PacketSimResult
 from repro.runner.cache import ResultCache
 from repro.runner.executor import ParallelExecutor
@@ -81,6 +83,11 @@ def run_packet_sweep(
     duration_s: float = 15.0,
     warmup_s: float = 5.0,
     mss_bytes: int = 1500,
+    queue_discipline: str = "droptail",
+    queue_params: Mapping[str, Any] | None = None,
+    rtt_ms: Sequence[float] | None = None,
+    loss_rate: float = 0.0,
+    seed: int | None = None,
     jobs: int = 1,
     cache: ResultCache | None = None,
     executor: ParallelExecutor | None = None,
@@ -103,6 +110,18 @@ def run_packet_sweep(
         Passed to :func:`repro.netsim.packet.simulation.simulate`.  The
         default capacity is scaled down from the paper's 10 Gb/s so the
         simulation finishes quickly; the sharing behaviour is rate-free.
+    queue_discipline, queue_params:
+        Bottleneck queue discipline (``"droptail"``/``"red"``/``"codel"``)
+        and its extra parameters, applied to every arm.
+    rtt_ms:
+        Per-unit RTT profile: unit ``i`` gets ``rtt_ms[i % len(rtt_ms)]``
+        unless its factory already set an explicit ``rtt_ms``.  ``None``
+        keeps every unit on ``base_rtt_ms``.
+    loss_rate:
+        Random-loss probability applied to every unit's path (unless the
+        factory supplied its own :class:`PathConfig`).
+    seed:
+        Seed for the RED/random-loss RNGs; inert for loss-free drop-tail.
     jobs, cache, executor:
         Arms are independent, so they fan out over a
         :class:`~repro.runner.executor.ParallelExecutor` with ``jobs``
@@ -118,11 +137,26 @@ def run_packet_sweep(
         if not 0 <= k <= n_units:
             raise ValueError(f"treated count {k} outside [0, {n_units}]")
 
+    # Topology knobs enter the spec only when they deviate from the
+    # defaults: an inert knob must stay out of the content key so it
+    # cannot split the cache (cf. the CLI's inert ``--quick`` rule).
+    extra_params: dict[str, Any] = {}
+    if queue_discipline != "droptail":
+        extra_params["queue_discipline"] = queue_discipline
+    if queue_params:
+        extra_params["queue_params"] = dict(queue_params)
+
     specs: list[ScenarioSpec] = []
     for k in allocations:
         flows: list[FlowConfig] = []
         for i in range(n_units):
             base = treatment_factory(i) if i < k else control_factory(i)
+            unit_rtt = base.rtt_ms
+            if unit_rtt is None and rtt_ms is not None:
+                unit_rtt = float(rtt_ms[i % len(rtt_ms)])
+            path = base.path
+            if path is None and loss_rate > 0.0:
+                path = PathConfig(loss_rate=loss_rate)
             flows.append(
                 FlowConfig(
                     flow_id=base.flow_id,
@@ -130,6 +164,8 @@ def run_packet_sweep(
                     connections=base.connections,
                     paced=base.paced,
                     treated=i < k,
+                    rtt_ms=unit_rtt,
+                    path=path,
                 )
             )
         specs.append(
@@ -143,8 +179,10 @@ def run_packet_sweep(
                     "duration_s": duration_s,
                     "warmup_s": warmup_s,
                     "mss_bytes": mss_bytes,
+                    **extra_params,
                 },
-                label=f"packet_arm[k={int(k)}/{n_units}]",
+                seed=seed,
+                label=f"packet_arm[k={int(k)}/{n_units}, {queue_discipline}]",
             )
         )
 

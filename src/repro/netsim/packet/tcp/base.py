@@ -127,22 +127,35 @@ class TcpSender:
 
     # -- metrics ---------------------------------------------------------------
 
+    @property
+    def measured_bytes_sent(self) -> int:
+        """Bytes sent since :meth:`begin_measurement` (including retransmits)."""
+        return self.bytes_sent - self._bytes_sent_at_start
+
+    @property
+    def measured_bytes_retransmitted(self) -> int:
+        """Retransmitted bytes since :meth:`begin_measurement`."""
+        return self.bytes_retransmitted - self._bytes_retx_at_start
+
+    @property
+    def measured_bytes_acked(self) -> int:
+        """Bytes acknowledged since :meth:`begin_measurement`."""
+        return self.bytes_acked - self._bytes_acked_at_start
+
     def goodput_mbps(self, end_time: float | None = None) -> float:
         """Acked throughput over the measurement window, in Mb/s."""
         end = end_time if end_time is not None else self.scheduler.now
         elapsed = end - self._measure_start_time
         if elapsed <= 0:
             return 0.0
-        delivered = self.bytes_acked - self._bytes_acked_at_start
-        return delivered * 8.0 / elapsed / 1e6
+        return self.measured_bytes_acked * 8.0 / elapsed / 1e6
 
     def retransmit_fraction(self) -> float:
         """Fraction of sent bytes that were retransmissions, over the window."""
-        sent = self.bytes_sent - self._bytes_sent_at_start
+        sent = self.measured_bytes_sent
         if sent <= 0:
             return 0.0
-        retx = self.bytes_retransmitted - self._bytes_retx_at_start
-        return retx / sent
+        return self.measured_bytes_retransmitted / sent
 
     # -- hooks for subclasses ---------------------------------------------------
 

@@ -51,9 +51,15 @@ def packet_arm(
     duration_s: float,
     warmup_s: float,
     mss_bytes: int = 1500,
+    queue_discipline: str = "droptail",
+    queue_params: Mapping[str, Any] | None = None,
     seed: int | None = None,
 ) -> Any:
-    """One packet-level simulation arm (a fixed set of flow configs)."""
+    """One packet-level simulation arm (a fixed set of flow configs).
+
+    ``queue_discipline``/``queue_params`` select the bottleneck AQM;
+    per-flow RTTs and loss segments travel inside the flow configs.
+    """
     from repro.netsim.packet.simulation import simulate
 
     return simulate(
@@ -64,6 +70,9 @@ def packet_arm(
         mss_bytes=mss_bytes,
         duration_s=duration_s,
         warmup_s=warmup_s,
+        queue_discipline=queue_discipline,
+        queue_params=dict(queue_params) if queue_params else None,
+        seed=seed,
     )
 
 
@@ -172,6 +181,8 @@ FIGURE_CELL_TASKS: tuple[str, ...] = (
     "fig8",
     "fig9",
     "fig10",
+    "topo_rtt",
+    "topo_aqm",
 )
 
 
@@ -192,6 +203,8 @@ def figure_cells(
     """
     if figure in ("fig2a", "fig2b", "fig3"):
         return _lab_cells(figure, noise=noise, seed=seed)
+    if figure in ("topo_rtt", "topo_aqm"):
+        return _topology_cells(figure, quick=quick)
     if figure in FIGURE_CELL_TASKS:
         return _paired_cells(figure, quick=quick, seed=seed)
     raise KeyError(
@@ -218,6 +231,30 @@ def _lab_cells(figure: str, noise: float, seed: int | None) -> dict[str, float]:
         "ab_throughput_mbps@0.5": fig.ab_estimate("throughput_mbps", 0.5),
         "spillover_throughput@0.5": fig.spillover("throughput_mbps", 0.5),
     }
+
+
+def _topology_cells(figure: str, quick: bool) -> dict[str, float]:
+    # Packet-level topology figures are deterministic, so the seed is
+    # deliberately not consumed: every replication returns the same cells.
+    from repro.experiments.lab_topology import run_aqm_experiment, run_rtt_experiment
+
+    if figure == "topo_rtt":
+        fig = run_rtt_experiment(quick=quick)
+        return {
+            "tte_throughput_mbps": fig.tte("throughput_mbps"),
+            "tte_retransmit_fraction": fig.tte("retransmit_fraction"),
+            "ab_throughput_mbps@0.5": fig.ab_estimate("throughput_mbps", 0.5),
+            "spillover_throughput@0.5": fig.spillover("throughput_mbps", 0.5),
+        }
+    comparison = run_aqm_experiment(quick=quick)
+    cells: dict[str, float] = {}
+    for discipline, fig in comparison.figures.items():
+        cells[f"bias_throughput@0.5:{discipline}"] = comparison.bias(discipline)
+        cells[f"tte_throughput_mbps:{discipline}"] = fig.tte("throughput_mbps")
+        cells[f"ab_throughput_mbps@0.5:{discipline}"] = fig.ab_estimate(
+            "throughput_mbps", 0.5
+        )
+    return cells
 
 
 def _paired_cells(figure: str, quick: bool, seed: int | None) -> dict[str, float]:

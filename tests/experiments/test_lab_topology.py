@@ -1,0 +1,80 @@
+"""Tests for the topology experiments (RTT heterogeneity, AQM vs drop-tail)."""
+
+import pytest
+
+from repro.experiments.lab_topology import (
+    AqmBiasComparison,
+    run_aqm_experiment,
+    run_rtt_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def rtt_figure():
+    return run_rtt_experiment(quick=True)
+
+
+@pytest.fixture(scope="module")
+def aqm_comparison():
+    return run_aqm_experiment(quick=True)
+
+
+class TestRttExperiment:
+    def test_allocation_endpoints_present(self, rtt_figure):
+        allocations = [row.allocation for row in rtt_figure.rows]
+        assert 0.0 in allocations
+        assert 1.0 in allocations
+
+    def test_naive_ab_still_biased_under_rtt_heterogeneity(self, rtt_figure):
+        # The paper's bias survives heterogeneous RTTs: the naive A/B
+        # estimate at 50% promises a large gain the TTE does not deliver.
+        ab = rtt_figure.ab_estimate("throughput_mbps", 0.5)
+        tte = rtt_figure.tte("throughput_mbps")
+        assert ab > 1.0
+        assert ab - tte > 1.0
+
+    def test_throughput_tte_small_relative_to_capacity(self, rtt_figure):
+        # Opening extra connections cannot create capacity at any RTT mix.
+        baseline = rtt_figure.throughput_curve.mu_control(0.0)
+        assert abs(rtt_figure.tte("throughput_mbps")) / baseline < 0.2
+
+    def test_spillover_negative(self, rtt_figure):
+        assert rtt_figure.spillover("throughput_mbps", 0.5) < 0.0
+
+    def test_empty_rtt_spread_raises(self):
+        with pytest.raises(ValueError):
+            run_rtt_experiment(rtt_spread_ms=())
+
+    def test_invalid_connection_counts_raise(self):
+        with pytest.raises(ValueError):
+            run_rtt_experiment(treatment_connections=0)
+
+
+class TestAqmExperiment:
+    def test_compares_requested_disciplines(self, aqm_comparison):
+        assert set(aqm_comparison.figures) == {"droptail", "codel"}
+
+    def test_bias_positive_under_both_disciplines(self, aqm_comparison):
+        # The connection-count treatment looks like a win in a naive A/B
+        # test under every discipline; AQM changes the size, not the sign.
+        for discipline in aqm_comparison.figures:
+            assert aqm_comparison.bias(discipline) > 0.5
+
+    def test_tte_near_zero_under_both_disciplines(self, aqm_comparison):
+        for figure in aqm_comparison.figures.values():
+            baseline = figure.throughput_curve.mu_control(0.0)
+            assert abs(figure.tte("throughput_mbps")) / baseline < 0.2
+
+    def test_summary_lines_cover_disciplines_and_bias(self, aqm_comparison):
+        text = "\n".join(aqm_comparison.summary_lines())
+        assert "droptail" in text
+        assert "codel" in text
+        assert "bias" in text.lower()
+
+    def test_no_disciplines_raises(self):
+        with pytest.raises(ValueError):
+            run_aqm_experiment(disciplines=())
+
+    def test_comparison_is_plain_dataclass(self, aqm_comparison):
+        rebuilt = AqmBiasComparison(figures=dict(aqm_comparison.figures))
+        assert rebuilt.bias("droptail") == aqm_comparison.bias("droptail")

@@ -180,11 +180,28 @@ class TestDropTailQueue:
         assert queue.packets_dropped == 1
 
     def test_queueing_delay_estimate(self):
+        # One packet in service (1 s residual at 8 kb/s) plus one waiting
+        # (1 s of backlog): an arrival now would wait 2 s.
         sched, queue, _, _ = self._setup(rate_bps=8000.0, buffer_bytes=10000.0)
         queue.enqueue(make_packet(seq=0))
         queue.enqueue(make_packet(seq=1))
         assert queue.occupancy_bytes == 1000.0
+        assert queue.queueing_delay() == pytest.approx(2.0)
+
+    def test_queueing_delay_counts_residual_service_time(self):
+        sched, queue, _, _ = self._setup(rate_bps=8000.0, buffer_bytes=10000.0)
+        queue.enqueue(make_packet(seq=0))  # enters service, finishes at t=1
         assert queue.queueing_delay() == pytest.approx(1.0)
+        sched.schedule(0.75, lambda: None)
+        sched.step()  # advance the clock partway through the transmission
+        assert queue.queueing_delay() == pytest.approx(0.25)
+
+    def test_queueing_delay_zero_when_idle(self):
+        sched, queue, _, _ = self._setup()
+        assert queue.queueing_delay() == 0.0
+        queue.enqueue(make_packet(seq=0))
+        sched.run(until=10.0)
+        assert queue.queueing_delay() == 0.0
 
     def test_counters(self):
         sched, queue, _, _ = self._setup(buffer_bytes=100000.0)

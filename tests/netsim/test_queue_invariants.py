@@ -1,0 +1,209 @@
+"""Invariant tests for every queue discipline (drop-tail, RED, CoDel).
+
+Three properties must hold regardless of the admission/dequeue policy:
+
+* conservation — once drained, served + dropped equals offered;
+* bounded occupancy — the buffer limit is never exceeded;
+* determinism — a discipline's behaviour is a pure function of its
+  construction parameters (RED draws all randomness from its seed).
+"""
+
+import pytest
+
+from repro.netsim.packet.engine import EventScheduler
+from repro.netsim.packet.packets import Packet
+from repro.netsim.packet.queue import (
+    QUEUE_DISCIPLINES,
+    CoDelQueue,
+    DropTailQueue,
+    REDQueue,
+    make_queue,
+)
+
+ALL_DISCIPLINES = sorted(QUEUE_DISCIPLINES)
+
+
+def make_packet(seq, size=1000, flow_id=0):
+    return Packet(flow_id=flow_id, sequence=seq, size_bytes=size, send_time=0.0)
+
+
+def build(discipline, rate_bps=8_000.0, buffer_bytes=4_000.0, **params):
+    sched = EventScheduler()
+    departed, dropped = [], []
+    queue = make_queue(
+        discipline,
+        sched,
+        rate_bps,
+        buffer_bytes,
+        on_departure=lambda p, t: departed.append((p.sequence, t)),
+        on_drop=lambda p, t: dropped.append((p.sequence, t)),
+        **params,
+    )
+    return sched, queue, departed, dropped
+
+
+def offer_burst(sched, queue, n, gap_s=0.0, size=1000):
+    """Offer ``n`` packets, ``gap_s`` apart, starting now."""
+    for i in range(n):
+        sched.schedule(sched.now + i * gap_s, lambda i=i: queue.enqueue(make_packet(i, size=size)))
+
+
+class TestConservation:
+    @pytest.mark.parametrize("discipline", ALL_DISCIPLINES)
+    def test_served_plus_dropped_equals_offered_after_drain(self, discipline):
+        sched, queue, departed, dropped = build(discipline, buffer_bytes=3_000.0)
+        offer_burst(sched, queue, 40, gap_s=0.05)
+        sched.run(until=1e6)  # drain completely
+        assert queue.occupancy_bytes == 0.0
+        assert queue.occupancy_packets == 0
+        assert queue.packets_served + queue.packets_dropped == queue.packets_offered
+        assert len(departed) == queue.packets_served
+        assert len(dropped) == queue.packets_dropped
+        assert queue.packets_offered == 40
+
+    @pytest.mark.parametrize("discipline", ALL_DISCIPLINES)
+    def test_every_packet_reported_exactly_once(self, discipline):
+        sched, queue, departed, dropped = build(discipline, buffer_bytes=2_500.0)
+        offer_burst(sched, queue, 25, gap_s=0.02)
+        sched.run(until=1e6)
+        seen = sorted([s for s, _ in departed] + [s for s, _ in dropped])
+        assert seen == list(range(25))
+
+
+class TestBoundedOccupancy:
+    @pytest.mark.parametrize("discipline", ALL_DISCIPLINES)
+    def test_occupancy_never_exceeds_buffer(self, discipline):
+        buffer_bytes = 3_500.0
+        sched, queue, _, _ = build(discipline, buffer_bytes=buffer_bytes)
+        high_water = []
+        for i in range(60):
+            sched.schedule(
+                sched.now + i * 0.01,
+                lambda i=i: (
+                    queue.enqueue(make_packet(i)),
+                    high_water.append(queue.occupancy_bytes),
+                ),
+            )
+        sched.run(until=1e6)
+        assert max(high_water) <= buffer_bytes
+        assert queue.max_occupancy_bytes <= buffer_bytes
+
+
+class TestDropTail:
+    def test_registry_name(self):
+        assert QUEUE_DISCIPLINES["droptail"] is DropTailQueue
+
+    def test_drops_only_when_buffer_full(self):
+        sched, queue, departed, dropped = build("droptail", buffer_bytes=2_000.0)
+        results = [queue.enqueue(make_packet(i)) for i in range(4)]
+        # First enters service; two fit the 2000-byte buffer; fourth drops.
+        assert results == [True, True, True, False]
+        assert [s for s, _ in dropped] == [3]
+
+
+class TestRED:
+    def test_early_drops_before_buffer_full(self):
+        sched, queue, departed, dropped = build(
+            "red", buffer_bytes=40_000.0, weight=0.5, min_threshold=0.05,
+            max_threshold=0.5, max_drop_probability=0.9, seed=1,
+        )
+        offer_burst(sched, queue, 80, gap_s=0.01)
+        sched.run(until=1e6)
+        assert queue.packets_dropped > 0
+        # RED dropped while far from the hard limit.
+        assert queue.max_occupancy_bytes < 40_000.0
+
+    def test_seeded_runs_identical(self):
+        outcomes = []
+        for _ in range(2):
+            sched, queue, departed, dropped = build(
+                "red", buffer_bytes=10_000.0, weight=0.3, seed=7,
+            )
+            offer_burst(sched, queue, 60, gap_s=0.02)
+            sched.run(until=1e6)
+            outcomes.append((tuple(departed), tuple(dropped)))
+        assert outcomes[0] == outcomes[1]
+
+    def test_different_seeds_can_differ(self):
+        outcomes = []
+        for seed in (1, 2):
+            sched, queue, _, dropped = build(
+                "red", buffer_bytes=10_000.0, weight=0.3,
+                min_threshold=0.1, max_threshold=0.9,
+                max_drop_probability=0.5, seed=seed,
+            )
+            offer_burst(sched, queue, 60, gap_s=0.02)
+            sched.run(until=1e6)
+            outcomes.append(tuple(s for s, _ in dropped))
+        assert outcomes[0] != outcomes[1]
+
+    def test_invalid_thresholds_raise(self):
+        sched = EventScheduler()
+        with pytest.raises(ValueError):
+            REDQueue(sched, 8000.0, 1000.0, lambda p, t: None, lambda p, t: None,
+                     min_threshold=0.8, max_threshold=0.2)
+
+
+class TestCoDel:
+    def test_no_drops_below_target_delay(self):
+        # 8 Mb/s, one 1000-byte packet per 10 ms => 1 ms sojourn << 5 ms target.
+        sched, queue, _, dropped = build("codel", rate_bps=8_000_000.0,
+                                         buffer_bytes=100_000.0)
+        offer_burst(sched, queue, 100, gap_s=0.01)
+        sched.run(until=1e6)
+        assert dropped == []
+
+    def test_drops_under_sustained_overload(self):
+        # Offered load 2x the drain rate: the standing queue exceeds the
+        # 5 ms target for far longer than one 100 ms interval.
+        sched, queue, _, dropped = build("codel", rate_bps=800_000.0,
+                                         buffer_bytes=1e9)
+        offer_burst(sched, queue, 400, gap_s=0.005)
+        sched.run(until=1e6)
+        assert len(dropped) > 0
+        # Drops happen at dequeue, after real sojourn, not at arrival.
+        assert all(t > 0.1 for _, t in dropped)
+
+    def test_standing_delay_well_below_droptail(self):
+        # Open-loop 2x overload: CoDel cannot pin an unresponsive source to
+        # the 5 ms target (that takes a responsive sender), but its dequeue
+        # drops must keep the standing delay far below drop-tail's, which
+        # just lets the backlog grow toward the (here huge) buffer.
+        late_delay = {}
+        for discipline in ("codel", "droptail"):
+            sched, queue, _, _ = build(discipline, rate_bps=800_000.0,
+                                       buffer_bytes=1e9)
+            delays = []
+            for i in range(600):
+                sched.schedule(
+                    sched.now + i * 0.005,
+                    lambda i=i: (queue.enqueue(make_packet(i)),
+                                 delays.append(queue.queueing_delay())),
+                )
+            sched.run(until=1e6)
+            late = delays[500:]
+            late_delay[discipline] = sum(late) / len(late)
+        assert late_delay["codel"] < 0.5 * late_delay["droptail"]
+
+    def test_invalid_parameters_raise(self):
+        sched = EventScheduler()
+        with pytest.raises(ValueError):
+            CoDelQueue(sched, 8000.0, 1000.0, lambda p, t: None, lambda p, t: None,
+                       target_delay_s=0.0)
+
+
+class TestFactory:
+    def test_unknown_discipline_raises(self):
+        sched = EventScheduler()
+        with pytest.raises(ValueError, match="unknown queue discipline"):
+            make_queue("fq", sched, 8000.0, 1000.0, lambda p, t: None, lambda p, t: None)
+
+    def test_unknown_parameter_raises(self):
+        sched = EventScheduler()
+        with pytest.raises(TypeError):
+            make_queue("droptail", sched, 8000.0, 1000.0,
+                       lambda p, t: None, lambda p, t: None, target_delay_s=0.01)
+
+    @pytest.mark.parametrize("discipline", ALL_DISCIPLINES)
+    def test_registry_names_match_classes(self, discipline):
+        assert QUEUE_DISCIPLINES[discipline].name == discipline

@@ -49,6 +49,64 @@ class TestPacketSweepParallel:
             assert serial.tte(metric) == parallel.tte(metric)
 
 
+class TestTopologySweepParallel:
+    """jobs=1 vs jobs=4 must stay byte-identical for every new topology knob."""
+
+    def _topology_sweep(self, jobs):
+        # Exercises all three new axes at once: AQM discipline, per-unit
+        # RTT spread and a random-loss segment (seeded).
+        return run_packet_sweep(
+            4,
+            treatment_factory=lambda i: FlowConfig(i, cc="reno", connections=2),
+            control_factory=lambda i: FlowConfig(i, cc="reno", connections=1),
+            queue_discipline="codel",
+            rtt_ms=(10.0, 30.0),
+            loss_rate=0.005,
+            seed=5,
+            jobs=jobs,
+            **PACKET_KWARGS,
+        )
+
+    def test_jobs4_equals_serial(self):
+        serial = self._topology_sweep(jobs=1)
+        parallel = self._topology_sweep(jobs=4)
+        assert sorted(serial.results) == sorted(parallel.results)
+        for k in serial.results:
+            assert serial.results[k] == parallel.results[k]
+
+    def test_red_sweep_jobs4_equals_serial(self):
+        def sweep(jobs):
+            return run_packet_sweep(
+                4,
+                treatment_factory=lambda i: FlowConfig(i, connections=2),
+                control_factory=lambda i: FlowConfig(i),
+                queue_discipline="red",
+                queue_params={"weight": 0.05},
+                seed=11,
+                jobs=jobs,
+                **PACKET_KWARGS,
+            )
+
+        serial, parallel = sweep(1), sweep(4)
+        for k in serial.results:
+            assert serial.results[k] == parallel.results[k]
+
+    def test_topology_figure_cells_jobs4_equals_serial(self):
+        from repro.runner import ParallelExecutor, ScenarioSpec
+
+        specs = [
+            ScenarioSpec(
+                task="figure.cells",
+                params={"figure": figure, "quick": True},
+                seed=0,
+            )
+            for figure in ("topo_rtt", "topo_aqm")
+        ]
+        serial = ParallelExecutor(jobs=1).map(specs)
+        parallel = ParallelExecutor(jobs=4).map(specs)
+        assert serial == parallel
+
+
 class TestFluidSweepParallel:
     def _sweep(self, jobs):
         return run_lab_sweep(

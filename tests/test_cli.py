@@ -2,13 +2,19 @@
 
 import pytest
 
-from repro.cli import LAB_FIGURES, PAIRED_FIGURES, build_parser, main
+from repro.cli import (
+    LAB_FIGURES,
+    PAIRED_FIGURES,
+    TOPOLOGY_FIGURES,
+    build_parser,
+    main,
+)
 
 
 class TestParser:
     def test_known_figures_accepted(self):
         parser = build_parser()
-        for name in list(LAB_FIGURES) + list(PAIRED_FIGURES):
+        for name in list(LAB_FIGURES) + list(PAIRED_FIGURES) + list(TOPOLOGY_FIGURES):
             args = parser.parse_args([name])
             assert args.figure == name
 
@@ -51,6 +57,38 @@ class TestCommands:
         assert "off-peak" in out
         assert "overall TTE" in out
 
+    def test_topo_rtt_command_quick(self, capsys):
+        assert main(["topo_rtt", "--quick", "--rtt-spread", "10,40"]) == 0
+        out = capsys.readouterr().out
+        assert "heterogeneous RTTs (10/40 ms)" in out
+        assert "TTE throughput" in out
+
+    def test_topo_aqm_command_quick(self, capsys):
+        assert main(["topo_aqm", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "queue discipline: droptail" in out
+        assert "queue discipline: codel" in out
+        assert "bias" in out.lower()
+
+    def test_topo_aqm_custom_disciplines(self, capsys):
+        assert main(["topo_aqm", "--quick", "--disciplines", "droptail,red"]) == 0
+        out = capsys.readouterr().out
+        assert "queue discipline: red" in out
+        assert "codel" not in out
+
+    def test_invalid_rtt_spread_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["topo_rtt", "--quick", "--rtt-spread", "10,-4"])
+        with pytest.raises(SystemExit):
+            main(["topo_rtt", "--quick", "--rtt-spread", "abc"])
+
+    def test_invalid_disciplines_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["topo_aqm", "--quick", "--disciplines", "bogus"])
+        assert "--disciplines" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            main(["topo_aqm", "--quick", "--disciplines", ""])
+
 
 class TestParallelDeterminism:
     def test_lab_figure_same_output_jobs_1_vs_4(self, capsys):
@@ -67,6 +105,23 @@ class TestParallelDeterminism:
         assert main([*argv, "--jobs", "4"]) == 0
         parallel = capsys.readouterr().out
         assert serial == parallel
+
+    def test_topology_figure_same_output_jobs_1_vs_4(self, capsys):
+        argv = ["topo_aqm", "--quick"]
+        assert main([*argv, "--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main([*argv, "--jobs", "4"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_topology_figure_cached_rerun_identical(self, tmp_path, capsys):
+        argv = ["topo_rtt", "--quick", "--cache", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert len(list(tmp_path.glob("*.pkl"))) > 0
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
 
 
 class TestSweepCommand:
@@ -117,3 +172,21 @@ class TestSweepCommand:
     def test_list_mentions_sweepable_figures(self, capsys):
         assert main(["list"]) == 0
         assert "sweepable" in capsys.readouterr().out
+
+    def test_topology_sweep_collapses_to_one_replication(self, capsys):
+        # Topology figures ignore seeds, so asking for 3 replications must
+        # run (and report) a single deterministic one.
+        assert main(["sweep", "topo_rtt", "--quick", "--replications", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "deterministic figure, 1 replication" in out
+        assert "tte_throughput_mbps" in out
+
+    def test_topology_sweep_seed_does_not_split_cache(self, tmp_path, capsys):
+        argv = ["sweep", "topo_rtt", "--quick", "--cache",
+                "--cache-dir", str(tmp_path)]
+        assert main([*argv, "--seed", "1"]) == 0
+        entries = len(list(tmp_path.glob("*.pkl")))
+        assert entries > 0
+        assert main([*argv, "--seed", "2"]) == 0
+        assert len(list(tmp_path.glob("*.pkl"))) == entries
+        capsys.readouterr()

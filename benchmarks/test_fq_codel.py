@@ -1,0 +1,49 @@
+"""Wall-time of the packet sweep under FQ-CoDel vs drop-tail.
+
+FQ-CoDel is the most expensive discipline in the registry: every dequeue
+walks the DRR round, maintains per-flow deficits and runs a per-sub-queue
+CoDel control law, and every overflow scans for the fattest sub-queue.
+Benchmarking the same quick-mode sweep under both disciplines keeps that
+overhead visible in the perf trajectory, separately from the shared
+service-loop cost tracked by ``test_queue_disciplines.py``.
+
+Quick-mode sizing matches the topology experiments' quick scale so the
+pair stays cheap enough to ride along in tier-1 runs.
+"""
+
+from _helpers import run_once
+
+from repro.netsim.packet.simulation import FlowConfig
+from repro.netsim.packet.sweep import run_packet_sweep
+
+#: Quick-mode sweep sizing, matching the topology experiments' quick scale.
+QUICK_KWARGS = dict(
+    allocations=(0, 2, 4),
+    capacity_mbps=24.0,
+    duration_s=6.0,
+    warmup_s=2.0,
+)
+
+
+def _sweep(queue_discipline):
+    return run_packet_sweep(
+        4,
+        treatment_factory=lambda i: FlowConfig(i, cc="reno", connections=2),
+        control_factory=lambda i: FlowConfig(i, cc="reno", connections=1),
+        queue_discipline=queue_discipline,
+        **QUICK_KWARGS,
+    )
+
+
+def test_droptail_reference_sweep_quick(benchmark):
+    sweep = run_once(benchmark, _sweep, "droptail")
+    assert sorted(sweep.results) == [0, 2, 4]
+    # Drop-tail rewards the extra connection at the 50% allocation.
+    assert sweep.ab_estimate("throughput_mbps", 0.5) > 1.0
+
+
+def test_fq_codel_sweep_quick(benchmark):
+    sweep = run_once(benchmark, _sweep, "fq_codel")
+    assert sorted(sweep.results) == [0, 2, 4]
+    # Per-unit fair queueing: the extra connection buys (almost) nothing.
+    assert abs(sweep.ab_estimate("throughput_mbps", 0.5)) < 0.5

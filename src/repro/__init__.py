@@ -13,7 +13,9 @@ The package is organised in four layers:
     The lab substrate: a fluid bottleneck-sharing simulator and a
     packet-level discrete-event simulator with Reno, Cubic, BBR and pacing
     on a composable topology — pluggable queue disciplines (drop-tail,
-    RED, CoDel), per-flow RTTs and lossy path segments.
+    RED, CoDel, FQ-CoDel), ECN marking, per-flow RTTs, lossy path
+    segments, multi-queue parking-lot chains and unmeasured cross
+    traffic.
 
 ``repro.workload``
     The production substrate: a synthetic Netflix-like paired-link video
@@ -38,7 +40,7 @@ from repro.core.estimators import (
 )
 from repro.core.units import OutcomeTable, Session, Unit
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Assignment",

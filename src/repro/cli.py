@@ -8,6 +8,8 @@ Usage::
     repro fig10 --seed 11 --jobs 4   # design comparison, 4 worker processes
     repro topo_rtt --jobs 4          # A/B bias under heterogeneous RTTs
     repro topo_aqm --quick           # does CoDel shrink the A/B bias?
+    repro topo_parking --jobs 4      # parking-lot bias + cross-segment spillover
+    repro topo_fq --quick            # does per-flow FQ eliminate the bias?
     repro sweep fig5 --replications 5 --jobs 4   # multi-seed mean ± CI
 
 Every figure command prints the same rows/series the corresponding
@@ -37,7 +39,9 @@ from repro.experiments import (
     run_aqm_experiment,
     run_cc_experiment,
     run_connections_experiment,
+    run_fq_experiment,
     run_pacing_experiment,
+    run_parking_lot_experiment,
     run_rtt_experiment,
 )
 from repro.reporting import format_table
@@ -58,7 +62,7 @@ LAB_FIGURES = {
 PAIRED_FIGURES = ("baseline", "fig5", "fig7", "fig8", "fig9", "fig10")
 
 #: Beyond-the-paper topology figures on the packet-level simulator.
-TOPOLOGY_FIGURES = ("topo_rtt", "topo_aqm")
+TOPOLOGY_FIGURES = ("topo_rtt", "topo_aqm", "topo_parking", "topo_fq")
 
 
 def _make_cache(args: argparse.Namespace) -> ResultCache | None:
@@ -107,12 +111,40 @@ def _print_topology_figure(
         )
         print("\n".join(figure.summary_lines()))
         return
-    comparison = run_aqm_experiment(
-        disciplines=_parse_disciplines(args.disciplines, parser),
-        quick=args.quick,
-        jobs=args.jobs,
-        cache=_make_cache(args),
-    )
+    if name == "topo_parking":
+        from repro.experiments.lab_parking_lot import MIN_SEGMENTS
+
+        if args.segments < MIN_SEGMENTS:
+            parser.error(
+                f"--segments must be at least {MIN_SEGMENTS} (cross-segment "
+                "spillover needs two disjoint unit spans)"
+            )
+        comparison = run_parking_lot_experiment(
+            n_segments=args.segments,
+            quick=args.quick,
+            jobs=args.jobs,
+            cache=_make_cache(args),
+        )
+    elif name == "topo_fq":
+        # topo_fq has its own discipline default (droptail vs fq_codel);
+        # an explicit --disciplines still overrides it.
+        if args.disciplines != parser.get_default("disciplines"):
+            disciplines = _parse_disciplines(args.disciplines, parser)
+        else:
+            disciplines = ("droptail", "fq_codel")
+        comparison = run_fq_experiment(
+            disciplines=disciplines,
+            quick=args.quick,
+            jobs=args.jobs,
+            cache=_make_cache(args),
+        )
+    else:
+        comparison = run_aqm_experiment(
+            disciplines=_parse_disciplines(args.disciplines, parser),
+            quick=args.quick,
+            jobs=args.jobs,
+            cache=_make_cache(args),
+        )
     print("\n".join(comparison.summary_lines()))
 
 
@@ -317,7 +349,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--disciplines",
         default="droptail,codel",
-        help="queue disciplines compared by topo_aqm (default: droptail,codel)",
+        help=(
+            "queue disciplines compared by topo_aqm (default: droptail,codel) "
+            "and topo_fq (default there: droptail,fq_codel)"
+        ),
+    )
+    parser.add_argument(
+        "--segments",
+        type=int,
+        default=4,
+        help="bottleneck segments in the topo_parking chain (default: 4)",
     )
     parser.add_argument(
         "--cache",

@@ -10,6 +10,10 @@ substrate and returns the rows/series behind the paper's figures:
 * :mod:`repro.experiments.lab_topology` — beyond-the-paper topology
   scenarios: A/B bias under heterogeneous RTTs and under AQM (CoDel/RED)
   vs drop-tail, on the packet-level simulator.
+* :mod:`repro.experiments.lab_parking_lot` — beyond-the-paper topology
+  scenarios: multi-bottleneck parking lots with unmeasured cross traffic
+  (bias amplification, cross-segment spillover) and per-flow FQ-CoDel
+  (the paper's bias-elimination prediction).
 * :mod:`repro.experiments.baseline_validation` — the Section 4.1 baseline
   link-similarity table.
 * :mod:`repro.experiments.paired_link` — the Section 4 bitrate-capping
@@ -30,6 +34,11 @@ from repro.experiments.lab_topology import (
     AqmBiasComparison,
     run_aqm_experiment,
     run_rtt_experiment,
+)
+from repro.experiments.lab_parking_lot import (
+    ParkingLotComparison,
+    run_fq_experiment,
+    run_parking_lot_experiment,
 )
 from repro.experiments.paired_link import PairedLinkExperiment, PairedLinkOutcome
 from repro.experiments.baseline_validation import compare_links_at_baseline
@@ -55,6 +64,9 @@ __all__ = [
     "AqmBiasComparison",
     "run_rtt_experiment",
     "run_aqm_experiment",
+    "ParkingLotComparison",
+    "run_parking_lot_experiment",
+    "run_fq_experiment",
     "PairedLinkExperiment",
     "PairedLinkOutcome",
     "compare_links_at_baseline",

@@ -1,0 +1,339 @@
+"""Topology experiments: parking-lot spillover and per-flow fair queueing.
+
+Two experiments close out the topology axes the paper names but its
+testbed could not build:
+
+* :func:`run_parking_lot_experiment` — the connection-count treatment on
+  a multi-bottleneck *parking lot*: segments in series, every unit
+  crossing two consecutive segments, neighbouring spans overlapping, and
+  one unmeasured cross-traffic flow per segment.  Spillover now travels
+  *along the chain*: treating a unit on segments (0, 1) displaces the
+  units on (1, 2), which in turn changes what the units on (2, 3) see —
+  control outcomes shift on segments the treated unit never touches.
+  The experiment quantifies both headline predictions: the A/B bias is
+  *larger* than on a single bottleneck of the same capacity, and the
+  spillover reaches units that share no queue with the treatment
+  (:attr:`ParkingLotComparison.remote_spillover_mbps`), which is what
+  makes the bias harder to localize in a real network.
+* :func:`run_fq_experiment` — the same sweep under drop-tail and under
+  FQ-CoDel with per-unit sub-queues.  The paper's sharpest falsifiable
+  prediction: per-user fair queueing makes the extra connection worthless
+  (each unit's share is pinned by round-robin, not by its connection
+  count), so the naive A/B estimate *and* the TTE both collapse to zero
+  and the bias vanishes.  Drop-tail on the identical workload reproduces
+  the familiar, clearly nonzero bias.
+
+Both run every simulation arm through the
+:class:`~repro.runner.executor.ParallelExecutor` (``jobs``/``cache``),
+so results are deterministic and bit-identical for any worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.experiments.lab_common import LabFigure, packet_sweep_to_figure
+from repro.experiments.lab_topology import AqmBiasComparison, run_aqm_experiment
+from repro.netsim.packet.network import parking_lot_path, parking_lot_queues
+from repro.netsim.packet.simulation import FlowConfig
+from repro.netsim.packet.sweep import run_packet_sweep
+
+__all__ = [
+    "DEFAULT_SEGMENTS",
+    "MIN_SEGMENTS",
+    "SEGMENT_SPAN",
+    "ParkingLotComparison",
+    "run_parking_lot_experiment",
+    "run_fq_experiment",
+]
+
+#: Number of bottleneck segments in the default parking lot.
+DEFAULT_SEGMENTS = 4
+
+#: Consecutive segments each experimental unit crosses.
+SEGMENT_SPAN = 2
+
+#: Fewest segments with two disjoint unit spans (three distinct span
+#: starts), which the cross-segment spillover measurement requires.
+MIN_SEGMENTS = SEGMENT_SPAN + 2
+
+#: Flow-id offset of unmeasured cross-traffic applications (clear of units).
+CROSS_TRAFFIC_ID_BASE = 1000
+
+
+def _parking_scale(quick: bool) -> dict[str, object]:
+    """Sweep sizing; allocations include 0 and 1 for the remote-spillover
+    measurement and the midpoint for the 50 % A/B comparison."""
+    if quick:
+        return dict(
+            n_units=6,
+            allocations=(0, 1, 3, 6),
+            capacity_mbps=24.0,
+            duration_s=6.0,
+            warmup_s=2.0,
+        )
+    return dict(
+        n_units=6,
+        allocations=(0, 1, 2, 3, 4, 6),
+        capacity_mbps=48.0,
+        duration_s=10.0,
+        warmup_s=3.0,
+    )
+
+
+def _unit_start_segment(unit: int, n_segments: int) -> int:
+    """Start segment of a unit's span, cycled so spans stay balanced."""
+    return unit % (n_segments - SEGMENT_SPAN + 1)
+
+
+@dataclass
+class ParkingLotComparison:
+    """The connection-count sweep on a single bottleneck vs a parking lot.
+
+    ``figures`` holds one :class:`LabFigure` per topology (``"single"``,
+    ``"parking"``); :meth:`bias` reduces each to how far the naive A/B
+    estimate sits from the true total treatment effect.
+
+    Attributes
+    ----------
+    n_segments:
+        Segments in the parking-lot chain.
+    remote_spillover_mbps:
+        Mean throughput change, between the all-control run and the run
+        with exactly one treated unit, of the control units that share
+        *no* queue with that treated unit.  Nonzero means treatment
+        effects propagate across segments the treated traffic never
+        crosses — interference a per-queue audit cannot localize.
+    """
+
+    figures: dict[str, LabFigure]
+    n_segments: int
+    remote_spillover_mbps: float
+    allocation: float = 0.5
+
+    def bias(self, topology: str, metric: str = "throughput_mbps") -> float:
+        """Naive A/B estimate minus the TTE at :attr:`allocation` (per unit)."""
+        figure = self.figures[topology]
+        return figure.ab_estimate(metric, self.allocation) - figure.tte(metric)
+
+    def summary_lines(self) -> list[str]:
+        """Per-topology figure summaries plus the bias comparison."""
+        lines: list[str] = []
+        for topology, figure in self.figures.items():
+            lines.append(f"=== topology: {topology} ===")
+            lines.extend(figure.summary_lines())
+        lines.append("")
+        lines.append(
+            f"A/B-vs-TTE bias at {self.allocation:.0%} allocation (throughput, Mb/s per unit):"
+        )
+        for topology in self.figures:
+            lines.append(f"  {topology:>9}: {self.bias(topology):+.2f}")
+        lines.append(
+            f"cross-segment spillover (1 treated unit, controls sharing no queue "
+            f"with it): {self.remote_spillover_mbps:+.2f} Mb/s"
+        )
+        return lines
+
+
+def run_parking_lot_experiment(
+    n_segments: int = DEFAULT_SEGMENTS,
+    treatment_connections: int = 2,
+    control_connections: int = 1,
+    cross_traffic_per_segment: int = 1,
+    quick: bool = False,
+    jobs: int = 1,
+    cache=None,
+) -> ParkingLotComparison:
+    """The parallel-connections bias on a parking lot vs a single bottleneck.
+
+    Unit ``i`` crosses segments ``s .. s+1`` with ``s = i mod
+    (n_segments - 1)``, so neighbouring spans overlap and every interior
+    segment carries two span populations.  Each segment additionally
+    carries ``cross_traffic_per_segment`` unmeasured single-connection
+    flows.  The reference sweep runs the identical unit population *and*
+    the identical cross-traffic population on one drop-tail bottleneck of
+    the same per-queue capacity — only the topology differs, so the bias
+    gap is attributable to the multi-bottleneck structure.
+
+    Parameters
+    ----------
+    n_segments:
+        Bottleneck segments in the chain (at least 4 so that some pairs
+        of 2-segment spans share no segment, which the cross-segment
+        spillover measurement requires).  The bias amplification depends on
+        the per-segment load: stretching the same unit population over
+        many more segments dilutes the contention and with it the
+        amplification (the defaults keep every segment congested).
+    treatment_connections, control_connections:
+        Connections opened by treated / control applications (paper: 2 / 1).
+    cross_traffic_per_segment:
+        Unmeasured background flows pinned to each single segment.
+    quick:
+        Shrink the sweep (fewer arms, shorter runs) for smoke tests.
+    jobs, cache:
+        Worker processes and optional result cache for the sweep arms.
+    """
+    if n_segments < MIN_SEGMENTS:
+        raise ValueError(
+            f"parking-lot experiment needs at least {MIN_SEGMENTS} segments "
+            "(otherwise every pair of units shares a queue and cross-segment "
+            "spillover is unmeasurable)"
+        )
+    if treatment_connections < 1 or control_connections < 1:
+        raise ValueError("connection counts must be at least 1")
+    if cross_traffic_per_segment < 0:
+        raise ValueError("cross_traffic_per_segment must be non-negative")
+
+    scale = _parking_scale(quick)
+    n_units = scale.pop("n_units")
+    capacity = scale["capacity_mbps"]
+
+    def flow(i: int, connections: int) -> FlowConfig:
+        return FlowConfig(
+            i,
+            cc="reno",
+            connections=connections,
+            path=parking_lot_path(
+                _unit_start_segment(i, n_segments), n_segments, span=SEGMENT_SPAN
+            ),
+        )
+
+    parking_cross = tuple(
+        FlowConfig(
+            CROSS_TRAFFIC_ID_BASE + segment * cross_traffic_per_segment + j,
+            cc="reno",
+            connections=1,
+            path=parking_lot_path(segment, n_segments, span=1),
+        )
+        for segment in range(n_segments)
+        for j in range(cross_traffic_per_segment)
+    )
+    # The same background population, all sharing the single bottleneck.
+    single_cross = tuple(
+        FlowConfig(CROSS_TRAFFIC_ID_BASE + j, cc="reno", connections=1)
+        for j in range(n_segments * cross_traffic_per_segment)
+    )
+
+    parking_sweep = run_packet_sweep(
+        n_units,
+        treatment_factory=lambda i: flow(i, treatment_connections),
+        control_factory=lambda i: flow(i, control_connections),
+        extra_queues=parking_lot_queues(n_segments, capacity),
+        cross_traffic=parking_cross,
+        jobs=jobs,
+        cache=cache,
+        **scale,
+    )
+    single_sweep = run_packet_sweep(
+        n_units,
+        treatment_factory=lambda i: FlowConfig(
+            i, cc="reno", connections=treatment_connections
+        ),
+        control_factory=lambda i: FlowConfig(
+            i, cc="reno", connections=control_connections
+        ),
+        cross_traffic=single_cross,
+        jobs=jobs,
+        cache=cache,
+        **scale,
+    )
+
+    figures = {
+        "single": packet_sweep_to_figure(
+            single_sweep,
+            name="topo_parking[single]",
+            description=(
+                f"{n_units} applications using {treatment_connections} (treatment) "
+                f"or {control_connections} (control) TCP Reno connections plus "
+                f"{len(single_cross)} unmeasured cross-traffic flow(s) on one "
+                f"shared drop-tail bottleneck"
+            ),
+        ),
+        "parking": packet_sweep_to_figure(
+            parking_sweep,
+            name="topo_parking[parking]",
+            description=(
+                f"the same applications crossing {SEGMENT_SPAN}-segment spans of a "
+                f"{n_segments}-segment drop-tail parking lot with "
+                f"{cross_traffic_per_segment} unmeasured cross-traffic flow(s) "
+                f"per segment"
+            ),
+        ),
+    }
+    return ParkingLotComparison(
+        figures=figures,
+        n_segments=n_segments,
+        remote_spillover_mbps=_remote_spillover(parking_sweep, n_units, n_segments),
+    )
+
+
+def _remote_spillover(sweep, n_units: int, n_segments: int) -> float:
+    """Throughput shift of controls that share no segment with unit 0.
+
+    Compares the all-control arm (k=0) with the one-treated arm (k=1,
+    treated = unit 0) on the units whose spans are disjoint from unit
+    0's.  Any shift reached them through the chain, not through a shared
+    queue.
+    """
+    base = sweep.results.get(0)
+    one_treated = sweep.results.get(1)
+    if base is None or one_treated is None:  # pragma: no cover - guarded by scale
+        raise ValueError("remote spillover needs the k=0 and k=1 arms")
+    treated_span = _span_segments(0, n_segments)
+    remote_units = [
+        i
+        for i in range(1, n_units)
+        if not (_span_segments(i, n_segments) & treated_span)
+    ]
+    if not remote_units:
+        raise ValueError(
+            f"no unit's span is disjoint from unit 0's with {n_segments} segments"
+        )
+    before = sum(base.flow(i).throughput_mbps for i in remote_units)
+    after = sum(one_treated.flow(i).throughput_mbps for i in remote_units)
+    return (after - before) / len(remote_units)
+
+
+def _span_segments(unit: int, n_segments: int) -> set[int]:
+    start = _unit_start_segment(unit, n_segments)
+    return set(range(start, start + SEGMENT_SPAN))
+
+
+def run_fq_experiment(
+    disciplines: Sequence[str] = ("droptail", "fq_codel"),
+    treatment_connections: int = 2,
+    control_connections: int = 1,
+    quick: bool = False,
+    jobs: int = 1,
+    cache=None,
+) -> AqmBiasComparison:
+    """The parallel-connections bias under drop-tail vs per-flow FQ-CoDel.
+
+    Reuses the AQM comparison harness with FQ-CoDel in the discipline
+    list.  The network builder keys FQ-CoDel sub-queues by *application*
+    (the experimental unit), so this is the paper's per-user fair
+    queueing scenario: the expected outcome is a clearly positive
+    drop-tail bias and an FQ-CoDel bias of approximately zero.
+
+    Parameters
+    ----------
+    disciplines:
+        Queue disciplines to compare; defaults to drop-tail against
+        FQ-CoDel.
+    treatment_connections, control_connections:
+        Connections opened by treated / control applications (paper: 2 / 1).
+    quick:
+        Shrink the sweep (fewer units, shorter runs) for smoke tests.
+    jobs, cache:
+        Worker processes and optional result cache for the sweep arms.
+    """
+    return run_aqm_experiment(
+        disciplines=disciplines,
+        treatment_connections=treatment_connections,
+        control_connections=control_connections,
+        quick=quick,
+        jobs=jobs,
+        cache=cache,
+        name="topo_fq",
+    )

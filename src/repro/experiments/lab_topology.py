@@ -158,6 +158,7 @@ def run_aqm_experiment(
     quick: bool = False,
     jobs: int = 1,
     cache=None,
+    name: str = "topo_aqm",
 ) -> AqmBiasComparison:
     """The parallel-connections bias sweep under each queue discipline.
 
@@ -173,6 +174,9 @@ def run_aqm_experiment(
     jobs, cache:
         Worker processes and optional result cache; arms of *all*
         disciplines fan out over the same executor settings.
+    name:
+        Figure-name prefix (``run_fq_experiment`` reuses this harness
+        under the name ``topo_fq``).
     """
     if not disciplines:
         raise ValueError("at least one queue discipline is required")
@@ -204,7 +208,7 @@ def run_aqm_experiment(
         )
         figures[discipline] = packet_sweep_to_figure(
             sweep,
-            name=f"topo_aqm[{discipline}]",
+            name=f"{name}[{discipline}]",
             description=(
                 f"{n_units} applications using {treatment_connections} (treatment) or "
                 f"{control_connections} (control) TCP Reno connections on a shared "

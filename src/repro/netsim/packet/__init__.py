@@ -6,11 +6,13 @@ principles: senders with simplified Reno, Cubic or BBR congestion control
 retransmissions are measured per flow.
 
 The topology is composable (:mod:`repro.netsim.packet.network`): queue
-disciplines are pluggable (drop-tail, RED, CoDel — see
-:mod:`repro.netsim.packet.queue`), each flow can carry its own RTT and
-path, and paths may include a random-loss segment or a sequence of
-queues.  The default remains the paper's testbed: a single drop-tail
-bottleneck with one symmetric RTT.
+disciplines are pluggable (drop-tail, RED, CoDel, FQ-CoDel — see
+:mod:`repro.netsim.packet.queue`), flows may negotiate ECN (AQMs then
+CE-mark instead of dropping), each flow can carry its own RTT and path,
+paths may include a random-loss segment or a sequence of queues
+(parking-lot chains), and unmeasured cross traffic can share any queue.
+The default remains the paper's testbed: a single drop-tail bottleneck
+with one symmetric RTT.
 
 The simulator is intentionally compact — it models exactly what the
 lab experiments exercise (window dynamics, ack clocking, queue-discipline
@@ -22,11 +24,18 @@ Public entry point: :func:`repro.netsim.packet.simulation.simulate`.
 """
 
 from repro.netsim.packet.engine import EventScheduler
-from repro.netsim.packet.network import Network, PathConfig
+from repro.netsim.packet.network import (
+    Network,
+    PathConfig,
+    QueueConfig,
+    parking_lot_path,
+    parking_lot_queues,
+)
 from repro.netsim.packet.queue import (
     QUEUE_DISCIPLINES,
     CoDelQueue,
     DropTailQueue,
+    FqCoDelQueue,
     QueueDiscipline,
     REDQueue,
     make_queue,
@@ -41,10 +50,14 @@ __all__ = [
     "DropTailQueue",
     "REDQueue",
     "CoDelQueue",
+    "FqCoDelQueue",
     "QUEUE_DISCIPLINES",
     "make_queue",
     "Network",
     "PathConfig",
+    "QueueConfig",
+    "parking_lot_queues",
+    "parking_lot_path",
     "FlowConfig",
     "PacketSimResult",
     "simulate",

@@ -9,9 +9,16 @@ topology into parts that can be recombined:
   random-loss segment (``loss_rate``, losses independent of congestion,
   as on an impaired link), and an ordered sequence of named bottleneck
   queues.
+* :class:`QueueConfig` — a declarative, content-keyable description of
+  one named queue, so sweeps can ship whole topologies through the
+  runner (:func:`parking_lot_queues` builds the classic multi-bottleneck
+  chain; :func:`parking_lot_path` routes a flow across a span of it).
 * :class:`Network` — the builder that wires TCP senders, paths and
   queue disciplines through one :class:`~repro.netsim.packet.engine.EventScheduler`
-  and assembles the per-application results.
+  and assembles the per-application results.  Beyond measured flows it
+  accepts *cross traffic* (:meth:`Network.add_cross_traffic`): flows
+  that compete in the queues but are excluded from the results, like
+  the unmeasured background traffic of any real network.
 
 For the default configuration — a single drop-tail ``"bottleneck"``
 queue, no loss segment, every flow on the network RTT — the builder
@@ -23,7 +30,8 @@ byte-for-byte reproducible (asserted by the golden-output test).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from collections.abc import Mapping
 from typing import TYPE_CHECKING, Any
 
 from repro.netsim.packet.engine import EventScheduler
@@ -35,7 +43,14 @@ from repro.netsim.packet.tcp.base import TcpSender
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.netsim.packet.simulation import FlowConfig, PacketSimResult
 
-__all__ = ["DEFAULT_QUEUE", "PathConfig", "Network"]
+__all__ = [
+    "DEFAULT_QUEUE",
+    "PathConfig",
+    "QueueConfig",
+    "Network",
+    "parking_lot_queues",
+    "parking_lot_path",
+]
 
 #: Name of the bottleneck queue every flow crosses unless its path says otherwise.
 DEFAULT_QUEUE = "bottleneck"
@@ -73,6 +88,106 @@ class PathConfig:
         if len(set(self.queues)) != len(self.queues):
             # Routing is by queue name, so a path may visit each queue once.
             raise ValueError(f"path queues must be distinct, got {self.queues}")
+
+
+@dataclass(frozen=True)
+class QueueConfig:
+    """Declarative description of one named bottleneck queue.
+
+    The picklable, content-keyable counterpart of
+    :meth:`Network.add_queue`, so whole topologies (extra queues beyond
+    the default bottleneck) can travel inside a
+    :class:`~repro.runner.spec.ScenarioSpec`.
+
+    Attributes
+    ----------
+    name:
+        Queue name paths refer to.
+    capacity_mbps:
+        Drain rate in Mb/s.
+    buffer_bytes, buffer_bdp:
+        Buffer size, directly or in bandwidth-delay products of this
+        queue's capacity and the network's base RTT.  At most one may be
+        set; with neither, one BDP is used.
+    discipline:
+        Queue discipline registry name.
+    params:
+        Extra discipline constructor parameters.
+    """
+
+    name: str
+    capacity_mbps: float
+    buffer_bytes: float | None = None
+    buffer_bdp: float | None = None
+    discipline: str = "droptail"
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.capacity_mbps <= 0:
+            raise ValueError("capacity_mbps must be positive")
+        if self.buffer_bytes is not None and self.buffer_bdp is not None:
+            raise ValueError("specify at most one of buffer_bytes / buffer_bdp")
+
+
+#: Name prefix of the bottleneck segments built by :func:`parking_lot_queues`.
+SEGMENT_PREFIX = "seg"
+
+
+def parking_lot_queues(
+    n_segments: int,
+    capacity_mbps: float,
+    *,
+    buffer_bdp: float = 1.0,
+    discipline: str = "droptail",
+    params: Mapping[str, Any] | None = None,
+) -> tuple[QueueConfig, ...]:
+    """Queue configs for a parking-lot topology: ``n_segments`` bottlenecks
+    in series, named ``seg0 .. seg{n-1}``.
+
+    Flows cross a contiguous span of segments (:func:`parking_lot_path`);
+    flows on overlapping spans contend directly, and spillover propagates
+    along the chain between flows that share no segment at all.
+    """
+    if n_segments < 2:
+        raise ValueError("a parking lot needs at least 2 segments")
+    return tuple(
+        QueueConfig(
+            name=f"{SEGMENT_PREFIX}{i}",
+            capacity_mbps=capacity_mbps,
+            buffer_bdp=buffer_bdp,
+            discipline=discipline,
+            params=dict(params or {}),
+        )
+        for i in range(n_segments)
+    )
+
+
+def parking_lot_path(
+    start_segment: int,
+    n_segments: int,
+    span: int = 2,
+    *,
+    rtt_ms: float | None = None,
+    loss_rate: float = 0.0,
+) -> PathConfig:
+    """Path crossing ``span`` consecutive parking-lot segments.
+
+    The span starts at ``start_segment``, clamped so it stays on the
+    chain (``start_segment >= n_segments - span`` routes through the last
+    ``span`` segments).  ``span=1`` gives the classic short flow crossing
+    a single segment (cross traffic); the default 2 makes neighbouring
+    spans overlap so spillover propagates.
+    """
+    if not 1 <= span <= n_segments:
+        raise ValueError("span must be in [1, n_segments]")
+    if start_segment < 0:
+        raise ValueError("start_segment must be non-negative")
+    start = min(start_segment, n_segments - span)
+    return PathConfig(
+        rtt_ms=rtt_ms,
+        loss_rate=loss_rate,
+        queues=tuple(f"{SEGMENT_PREFIX}{j}" for j in range(start, start + span)),
+    )
 
 
 class Network:
@@ -131,6 +246,7 @@ class Network:
         self._rtt_s: dict[int, float] = {}
         self._loss_rate: dict[int, float] = {}
         self._flow_configs: list[FlowConfig] = []
+        self._cross_flow_ids: set[int] = set()
         self._next_connection = 0
 
         #: Packets lost on impaired path segments (not queue drops).
@@ -177,8 +293,14 @@ class Network:
         if buffer_bytes is None:
             bdp = rate_bps / 8.0 * self.base_rtt_ms / 1000.0
             buffer_bytes = max(buffer_bdp * bdp, 2 * self.mss_bytes)
-        if QUEUE_DISCIPLINES.get(discipline, QueueDiscipline).uses_seed:
+        cls = QUEUE_DISCIPLINES.get(discipline, QueueDiscipline)
+        if cls.uses_seed:
             params.setdefault("seed", self._seed)
+        if cls.uses_flow_key:
+            # Fair-queueing sub-queues isolate experimental units: all of
+            # an application's connections share one sub-queue, so opening
+            # more of them cannot buy a larger share (per-user FQ).
+            params.setdefault("flow_key", self._packet_unit)
         queue = make_queue(
             discipline,
             self.scheduler,
@@ -190,6 +312,27 @@ class Network:
         )
         self._queues[name] = queue
         return queue
+
+    def add_queue_config(self, config: QueueConfig) -> QueueDiscipline:
+        """Add a queue from its declarative :class:`QueueConfig` form."""
+        buffer_kwargs: dict[str, float] = {}
+        if config.buffer_bytes is not None:
+            buffer_kwargs["buffer_bytes"] = config.buffer_bytes
+        else:
+            buffer_kwargs["buffer_bdp"] = (
+                config.buffer_bdp if config.buffer_bdp is not None else 1.0
+            )
+        return self.add_queue(
+            config.name,
+            capacity_mbps=config.capacity_mbps,
+            discipline=config.discipline,
+            **buffer_kwargs,
+            **dict(config.params),
+        )
+
+    def _packet_unit(self, packet: Packet) -> int:
+        """The experimental unit (application id) a packet belongs to."""
+        return self._connection_owner.get(packet.flow_id, packet.flow_id)
 
     def add_flow(self, config: FlowConfig) -> None:
         """Attach one application: its connections, path and queues."""
@@ -215,6 +358,7 @@ class Network:
                 mss_bytes=self.mss_bytes,
                 base_rtt_s=rtt_s,
                 paced=config.paced,
+                ecn=config.ecn,
             )
             self._senders[cid] = sender
             self._connection_owner[cid] = config.flow_id
@@ -222,6 +366,17 @@ class Network:
             self._rtt_s[cid] = rtt_s
             self._loss_rate[cid] = path.loss_rate
         self._flow_configs.append(config)
+
+    def add_cross_traffic(self, config: FlowConfig) -> None:
+        """Attach an unmeasured background application.
+
+        Cross traffic competes in the queues exactly like a measured flow
+        (same sender machinery, same paths) but is excluded from the
+        per-application results — it models the traffic a real experiment
+        shares its bottlenecks with but cannot observe.
+        """
+        self.add_flow(config)
+        self._cross_flow_ids.add(config.flow_id)
 
     # -- packet forwarding -----------------------------------------------------
 
@@ -274,8 +429,13 @@ class Network:
         """Run the simulation and assemble per-application results."""
         from repro.netsim.packet.simulation import FlowResult, PacketSimResult
 
-        if not self._flow_configs:
-            raise ValueError("at least one flow is required")
+        measured = [
+            c for c in self._flow_configs if c.flow_id not in self._cross_flow_ids
+        ]
+        if not measured:
+            raise ValueError(
+                "at least one flow is required (cross traffic alone is unmeasurable)"
+            )
         if duration_s <= warmup_s:
             raise ValueError("duration_s must exceed warmup_s")
 
@@ -293,7 +453,7 @@ class Network:
         self.scheduler.run(until=duration_s)
 
         results: list[FlowResult] = []
-        for config in self._flow_configs:
+        for config in measured:
             own = [
                 self._senders[cid]
                 for cid, owner in self._connection_owner.items()
@@ -310,6 +470,7 @@ class Network:
                     retransmit_fraction=retx / sent if sent > 0 else 0.0,
                     packets_sent=sum(s.packets_sent for s in own),
                     packets_lost=sum(s.packets_lost for s in own),
+                    packets_marked=sum(s.packets_marked for s in own),
                 )
             )
 
@@ -323,4 +484,5 @@ class Network:
                 q.max_occupancy_bytes for q in self._queues.values()
             ),
             queue_drops={name: q.packets_dropped for name, q in self._queues.items()},
+            queue_marks={name: q.packets_marked for name, q in self._queues.items()},
         )

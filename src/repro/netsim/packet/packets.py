@@ -24,6 +24,12 @@ class Packet:
         Simulation time at which the sender transmitted the packet.
     is_retransmission:
         True when the packet retransmits previously lost data.
+    ecn_capable:
+        True when the sending flow negotiated ECN: AQM queues may CE-mark
+        this packet instead of dropping it.
+    ce_marked:
+        Congestion Experienced: set by a queue that would otherwise have
+        dropped the packet; echoed back to the sender with the ack.
     """
 
     flow_id: int
@@ -31,3 +37,5 @@ class Packet:
     size_bytes: int
     send_time: float
     is_retransmission: bool = False
+    ecn_capable: bool = False
+    ce_marked: bool = False

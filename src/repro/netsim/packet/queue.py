@@ -11,7 +11,16 @@ leaves two decisions to subclasses:
   probabilistic early drop);
 * *dequeue* (:meth:`QueueDiscipline._next_packet`): which waiting packet
   enters service next (CoDel drops stale packets here, after measuring
-  their sojourn time).
+  their sojourn time; FQ-CoDel additionally picks the packet by deficit
+  round-robin over per-flow sub-queues);
+* *storage* (:meth:`QueueDiscipline._enqueue_packet`): where an admitted
+  packet waits (one FIFO by default, per-flow sub-queues for FQ-CoDel).
+
+AQM disciplines support ECN: when the decision to drop falls on a packet
+whose flow negotiated ECN (``Packet.ecn_capable``), the queue CE-marks the
+packet (:meth:`QueueDiscipline._mark`) and lets it through instead; the
+sender reacts to the echoed mark with a window reduction but no
+retransmission.  Hard buffer-overflow drops are never converted to marks.
 
 Disciplines are registered by name in :data:`QUEUE_DISCIPLINES` so
 scenario specs can select them with a plain string; :func:`make_queue`
@@ -33,6 +42,7 @@ __all__ = [
     "DropTailQueue",
     "REDQueue",
     "CoDelQueue",
+    "FqCoDelQueue",
     "QUEUE_DISCIPLINES",
     "make_queue",
 ]
@@ -66,6 +76,12 @@ class QueueDiscipline:
     #: RNG.  The network builder forwards its seed to such disciplines.
     uses_seed = False
 
+    #: Whether the discipline's constructor takes a ``flow_key`` classifier
+    #: (FQ-CoDel).  The network builder forwards a per-application
+    #: classifier to such disciplines so sub-queues isolate experimental
+    #: units rather than individual connections.
+    uses_flow_key = False
+
     def __init__(
         self,
         scheduler: EventScheduler,
@@ -96,6 +112,8 @@ class QueueDiscipline:
         self.packets_served = 0
         #: Total packets dropped.
         self.packets_dropped = 0
+        #: Total packets CE-marked instead of dropped (ECN).
+        self.packets_marked = 0
         #: Total bytes that entered service.
         self.bytes_served = 0.0
         #: Maximum queue occupancy observed, in bytes.
@@ -145,9 +163,17 @@ class QueueDiscipline:
     def _on_arrival(self, packet: Packet, now: float) -> None:
         """Observe an arrival before the admission decision (RED's EWMA)."""
 
+    def _became_idle(self, now: float) -> None:
+        """Observe the queue going idle (empty and nothing in service)."""
+
     def _admit(self, packet: Packet, now: float) -> bool:
         """Decide whether an arriving packet may enter the buffer."""
         raise NotImplementedError
+
+    def _enqueue_packet(self, packet: Packet, now: float) -> None:
+        """Store an admitted packet until service (one FIFO by default)."""
+        self._queue.append((packet, now))
+        self._queued_bytes += packet.size_bytes
 
     def _next_packet(self) -> Packet | None:
         """Pop the next packet to serve (FIFO); AQM may drop stale ones here."""
@@ -168,8 +194,7 @@ class QueueDiscipline:
             if not self._admit(packet, now):
                 self._drop(packet, now)
                 return False
-            self._queue.append((packet, now))
-            self._queued_bytes += packet.size_bytes
+            self._enqueue_packet(packet, now)
             self.max_occupancy_bytes = max(self.max_occupancy_bytes, self._queued_bytes)
         else:
             self._start_service(packet)
@@ -178,6 +203,22 @@ class QueueDiscipline:
     def _drop(self, packet: Packet, time: float) -> None:
         self.packets_dropped += 1
         self._on_drop(packet, time)
+
+    def _mark(self, packet: Packet, time: float) -> None:
+        """CE-mark an ECN-capable packet the AQM decided to punish."""
+        packet.ce_marked = True
+        self.packets_marked += 1
+
+    def _mark_or_refuse(self, packet: Packet, now: float) -> bool:
+        """AQM admission verdict for a packet the discipline wants to drop.
+
+        ECN-capable packets are CE-marked and admitted (True); others are
+        refused (False) and the caller drops them.
+        """
+        if packet.ecn_capable:
+            self._mark(packet, now)
+            return True
+        return False
 
     def _start_service(self, packet: Packet) -> None:
         self._busy = True
@@ -194,6 +235,7 @@ class QueueDiscipline:
             self._start_service(next_packet)
         else:
             self._busy = False
+            self._became_idle(self._scheduler.now)
 
 
 class DropTailQueue(QueueDiscipline):
@@ -215,6 +257,15 @@ class REDQueue(QueueDiscipline):
     ``1/(1 - count·p)`` spreading term), and is 1 above ``max_threshold``.
     The hard ``buffer_bytes`` limit still applies.  All randomness comes
     from ``seed``, so a RED simulation is a pure function of its inputs.
+
+    Idle periods decay the average (the paper's idle-time correction): on
+    the first arrival after the queue drained, the EWMA is aged as if the
+    packets the link *could* have served while idle had all sampled an
+    empty queue.  Without this the average stays stale-high across idle
+    gaps and RED over-drops the first packets of the next burst.
+
+    ECN-capable arrivals the early-drop logic selects are CE-marked and
+    admitted instead of dropped; buffer-overflow drops are never marked.
 
     Parameters
     ----------
@@ -258,8 +309,21 @@ class REDQueue(QueueDiscipline):
         self._rng = random.Random(seed)
         self._avg_bytes = 0.0
         self._count = -1  # arrivals since the last drop (classic RED spreading)
+        self._idle_since: float | None = 0.0  # the queue starts empty and idle
+
+    def _became_idle(self, now: float) -> None:
+        self._idle_since = now
 
     def _on_arrival(self, packet: Packet, now: float) -> None:
+        if self._idle_since is not None:
+            # Floyd & Jacobson idle-time correction: age the average by the
+            # number of (this-sized) packets the link could have served
+            # while the queue sat empty, each sampling occupancy zero.
+            idle_s = now - self._idle_since
+            if idle_s > 0.0:
+                could_have_served = idle_s / self.transmission_time(packet)
+                self._avg_bytes *= (1.0 - self._weight) ** could_have_served
+            self._idle_since = None
         self._avg_bytes += self._weight * (self._queued_bytes - self._avg_bytes)
 
     def _admit(self, packet: Packet, now: float) -> bool:
@@ -271,7 +335,7 @@ class REDQueue(QueueDiscipline):
             return True
         if self._avg_bytes >= self._max_bytes:
             self._count = 0
-            return False
+            return self._mark_or_refuse(packet, now)
         self._count += 1
         p_b = self._max_p * (self._avg_bytes - self._min_bytes) / (
             self._max_bytes - self._min_bytes
@@ -279,8 +343,73 @@ class REDQueue(QueueDiscipline):
         p_a = p_b / max(1.0 - self._count * p_b, 1e-9)
         if self._rng.random() < p_a:
             self._count = 0
-            return False
+            return self._mark_or_refuse(packet, now)
         return True
+
+
+class _CoDelControl:
+    """CoDel's drop-decision state machine (RFC 8289), shared machinery.
+
+    One instance controls one FIFO: :class:`CoDelQueue` owns a single
+    instance, :class:`FqCoDelQueue` one per sub-queue.  The caller feeds
+    it each dequeued packet's sojourn time and the backlog remaining
+    behind it; ``should_drop`` answers whether that packet is punished
+    (dropped, or CE-marked when the flow negotiated ECN).
+    """
+
+    __slots__ = (
+        "target_s",
+        "interval_s",
+        "min_backlog_bytes",
+        "first_above_time",
+        "dropping",
+        "drop_next",
+        "count",
+    )
+
+    def __init__(self, target_s: float, interval_s: float, min_backlog_bytes: float):
+        self.target_s = float(target_s)
+        self.interval_s = float(interval_s)
+        self.min_backlog_bytes = float(min_backlog_bytes)
+        self.first_above_time = 0.0
+        self.dropping = False
+        self.drop_next = 0.0
+        self.count = 0
+
+    def _control_law(self, t: float) -> float:
+        return t + self.interval_s / math.sqrt(self.count)
+
+    def _ok_to_drop(self, sojourn_s: float, now: float, backlog_bytes: float) -> bool:
+        if sojourn_s < self.target_s or backlog_bytes <= self.min_backlog_bytes:
+            self.first_above_time = 0.0
+            return False
+        if self.first_above_time == 0.0:
+            self.first_above_time = now + self.interval_s
+            return False
+        return now >= self.first_above_time
+
+    def should_drop(self, sojourn_s: float, now: float, backlog_bytes: float) -> bool:
+        ok = self._ok_to_drop(sojourn_s, now, backlog_bytes)
+        if self.dropping:
+            if not ok:
+                self.dropping = False
+                return False
+            if now >= self.drop_next:
+                self.count += 1
+                self.drop_next = self._control_law(self.drop_next)
+                return True
+            return False
+        if ok:
+            self.dropping = True
+            # Re-entering a recent dropping episode resumes at a higher
+            # drop frequency instead of restarting from one.
+            if now - self.drop_next < self.interval_s:
+                self.count = max(self.count - 2, 1)
+            else:
+                self.count = 1
+            self.drop_next = self._control_law(now)
+            return True
+        return False
 
 
 class CoDelQueue(QueueDiscipline):
@@ -290,7 +419,9 @@ class CoDelQueue(QueueDiscipline):
     stayed above ``target_delay_s`` for a full ``interval_s`` the queue
     enters the dropping state and drops packets at increasing frequency
     (``interval / sqrt(count)``) until the delay falls back below target.
-    Arrivals are only refused by the hard ``buffer_bytes`` limit.
+    ECN-capable packets selected by the control law are CE-marked and
+    served instead of dropped.  Arrivals are only refused by the hard
+    ``buffer_bytes`` limit.
 
     Parameters
     ----------
@@ -318,13 +449,7 @@ class CoDelQueue(QueueDiscipline):
         super().__init__(scheduler, rate_bps, buffer_bytes, on_departure, on_drop)
         if target_delay_s <= 0 or interval_s <= 0:
             raise ValueError("target_delay_s and interval_s must be positive")
-        self._target_s = float(target_delay_s)
-        self._interval_s = float(interval_s)
-        self._min_backlog_bytes = float(min_backlog_bytes)
-        self._first_above_time = 0.0
-        self._dropping = False
-        self._drop_next = 0.0
-        self._count = 0
+        self._codel = _CoDelControl(target_delay_s, interval_s, min_backlog_bytes)
 
     def _admit(self, packet: Packet, now: float) -> bool:
         return self._queued_bytes + packet.size_bytes <= self._buffer_bytes
@@ -334,46 +459,161 @@ class CoDelQueue(QueueDiscipline):
         while self._queue:
             packet, arrival = self._queue.popleft()
             self._queued_bytes -= packet.size_bytes
-            if self._should_drop(now - arrival, now):
+            if self._codel.should_drop(now - arrival, now, self._queued_bytes):
+                if packet.ecn_capable:
+                    self._mark(packet, now)
+                    return packet
                 self._drop(packet, now)
                 continue
             return packet
         return None
 
-    def _control_law(self, t: float) -> float:
-        return t + self._interval_s / math.sqrt(self._count)
 
-    def _ok_to_drop(self, sojourn_s: float, now: float) -> bool:
-        if sojourn_s < self._target_s or self._queued_bytes <= self._min_backlog_bytes:
-            self._first_above_time = 0.0
-            return False
-        if self._first_above_time == 0.0:
-            self._first_above_time = now + self._interval_s
-            return False
-        return now >= self._first_above_time
+class FqCoDelQueue(QueueDiscipline):
+    """Per-flow fair queueing with CoDel on every sub-queue (RFC 8290 style).
 
-    def _should_drop(self, sojourn_s: float, now: float) -> bool:
-        ok = self._ok_to_drop(sojourn_s, now)
-        if self._dropping:
-            if not ok:
-                self._dropping = False
-                return False
-            if now >= self._drop_next:
-                self._count += 1
-                self._drop_next = self._control_law(self._drop_next)
-                return True
-            return False
-        if ok:
-            self._dropping = True
-            # Re-entering a recent dropping episode resumes at a higher
-            # drop frequency instead of restarting from one.
-            if now - self._drop_next < self._interval_s:
-                self._count = max(self._count - 2, 1)
-            else:
-                self._count = 1
-            self._drop_next = self._control_law(now)
-            return True
-        return False
+    Each flow gets its own FIFO sub-queue; sub-queues are served by
+    deficit round-robin (one ``quantum_bytes`` of credit per round) and
+    each runs its own :class:`_CoDelControl` on the sojourn times of its
+    packets.  A backlogged flow therefore cannot inflate another flow's
+    delay or claim more than its round-robin share — the per-flow
+    isolation the paper predicts would *eliminate* the connection-count
+    A/B bias when sub-queues coincide with experimental units.
+
+    The flow classifier is pluggable (``flow_key``): standalone queues
+    default to one sub-queue per ``Packet.flow_id`` (per connection);
+    the :class:`~repro.netsim.packet.network.Network` builder supplies a
+    per-application classifier instead, so every experimental unit gets
+    exactly one sub-queue regardless of how many connections it opens
+    (per-user fair queueing, the paper's falsifiable prediction).
+
+    When an arrival would overflow the hard ``buffer_bytes`` limit, the
+    queue drops from the head of the *fattest* sub-queue (RFC 8290
+    §4.1.3) until the arrival fits — so a flow overrunning its share
+    fills the buffer at its own expense, never at its neighbours'.  The
+    only notable simplification vs RFC 8290 is the missing new-flow
+    priority list.
+
+    Parameters
+    ----------
+    target_delay_s, interval_s, min_backlog_bytes:
+        Per-sub-queue CoDel parameters (see :class:`CoDelQueue`); the
+        backlog floor applies to the packet's own sub-queue.
+    quantum_bytes:
+        Deficit round-robin credit granted per round (default one MTU).
+    flow_key:
+        Classifier mapping a packet to its sub-queue key; defaults to
+        ``Packet.flow_id``.
+    """
+
+    name = "fq_codel"
+    uses_flow_key = True
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        rate_bps: float,
+        buffer_bytes: float,
+        on_departure: Callable[[Packet, float], None],
+        on_drop: Callable[[Packet, float], None],
+        target_delay_s: float = 0.005,
+        interval_s: float = 0.1,
+        min_backlog_bytes: float = 1500.0,
+        quantum_bytes: float = 1500.0,
+        flow_key: Callable[[Packet], int] | None = None,
+    ):
+        super().__init__(scheduler, rate_bps, buffer_bytes, on_departure, on_drop)
+        if target_delay_s <= 0 or interval_s <= 0:
+            raise ValueError("target_delay_s and interval_s must be positive")
+        if quantum_bytes <= 0:
+            raise ValueError("quantum_bytes must be positive")
+        self._target_s = float(target_delay_s)
+        self._interval_s = float(interval_s)
+        self._min_backlog_bytes = float(min_backlog_bytes)
+        self._quantum = float(quantum_bytes)
+        self._flow_key = flow_key if flow_key is not None else self._default_flow_key
+        #: Waiting packets per sub-queue key, each with its arrival time.
+        self._subqueues: dict[int, deque[tuple[Packet, float]]] = {}
+        #: Bytes waiting per sub-queue key.
+        self._sub_bytes: dict[int, float] = {}
+        #: Deficit round-robin credit per active sub-queue key.
+        self._deficits: dict[int, float] = {}
+        #: Round-robin order of active sub-queue keys.
+        self._active: deque[int] = deque()
+        #: CoDel state per sub-queue key (persists across idle periods).
+        self._codel: dict[int, _CoDelControl] = {}
+
+    @staticmethod
+    def _default_flow_key(packet: Packet) -> int:
+        return packet.flow_id
+
+    @property
+    def occupancy_packets(self) -> int:
+        """Packets currently waiting across all sub-queues."""
+        return sum(len(sub) for sub in self._subqueues.values())
+
+    def _admit(self, packet: Packet, now: float) -> bool:
+        if packet.size_bytes > self._buffer_bytes:
+            return False  # can never fit; don't evict anyone else's backlog
+        # On overflow, make room by dropping from the head of the fattest
+        # sub-queue (RFC 8290): the overrunning flow pays for the burst.
+        while self._queued_bytes + packet.size_bytes > self._buffer_bytes:
+            victim_key = max(
+                self._sub_bytes, key=self._sub_bytes.__getitem__, default=None
+            )
+            if victim_key is None or not self._subqueues[victim_key]:
+                return False  # nothing to evict (oversized arrival)
+            victim, _ = self._subqueues[victim_key].popleft()
+            self._sub_bytes[victim_key] -= victim.size_bytes
+            self._queued_bytes -= victim.size_bytes
+            self._drop(victim, now)
+        return True
+
+    def _enqueue_packet(self, packet: Packet, now: float) -> None:
+        key = self._flow_key(packet)
+        sub = self._subqueues.get(key)
+        if sub is None:
+            sub = self._subqueues[key] = deque()
+            self._sub_bytes[key] = 0.0
+            self._deficits[key] = self._quantum
+            self._active.append(key)
+            if key not in self._codel:
+                self._codel[key] = _CoDelControl(
+                    self._target_s, self._interval_s, self._min_backlog_bytes
+                )
+        sub.append((packet, now))
+        self._sub_bytes[key] += packet.size_bytes
+        self._queued_bytes += packet.size_bytes
+
+    def _next_packet(self) -> Packet | None:
+        now = self._scheduler.now
+        while self._active:
+            key = self._active[0]
+            sub = self._subqueues[key]
+            if not sub:
+                # The sub-queue drained: retire it from the round-robin
+                # (its CoDel state is kept for a possible return).
+                self._active.popleft()
+                del self._subqueues[key]
+                del self._sub_bytes[key]
+                del self._deficits[key]
+                continue
+            if self._deficits[key] < sub[0][0].size_bytes:
+                self._deficits[key] += self._quantum
+                self._active.rotate(-1)
+                continue
+            packet, arrival = sub.popleft()
+            self._sub_bytes[key] -= packet.size_bytes
+            self._queued_bytes -= packet.size_bytes
+            self._deficits[key] -= packet.size_bytes
+            if self._codel[key].should_drop(now - arrival, now, self._sub_bytes[key]):
+                if packet.ecn_capable:
+                    self._mark(packet, now)
+                    return packet
+                self._drop(packet, now)
+                continue
+            return packet
+        return None
 
 
 #: Queue disciplines selectable by name in scenario specs.
@@ -381,6 +621,7 @@ QUEUE_DISCIPLINES: dict[str, type[QueueDiscipline]] = {
     DropTailQueue.name: DropTailQueue,
     REDQueue.name: REDQueue,
     CoDelQueue.name: CoDelQueue,
+    FqCoDelQueue.name: FqCoDelQueue,
 }
 
 

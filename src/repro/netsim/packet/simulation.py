@@ -9,8 +9,11 @@ The default topology mirrors the paper's testbed: a single drop-tail
 bottleneck, symmetric propagation delay, receivers acknowledging every
 packet immediately.  Beyond the default, every axis is composable via
 :mod:`repro.netsim.packet.network`: per-flow RTTs (``FlowConfig.rtt_ms``),
-AQM queue disciplines (``queue_discipline="red"`` / ``"codel"``), and
-random-loss path segments (``FlowConfig.path``).
+AQM queue disciplines (``queue_discipline="red"`` / ``"codel"`` /
+``"fq_codel"``), ECN negotiation (``FlowConfig.ecn``), random-loss path
+segments (``FlowConfig.path``), additional named queues
+(``extra_queues``, e.g. a parking-lot chain) and unmeasured background
+flows (``cross_traffic``).
 """
 
 from __future__ import annotations
@@ -19,7 +22,7 @@ from dataclasses import dataclass, field
 from collections.abc import Mapping, Sequence
 from typing import Any
 
-from repro.netsim.packet.network import Network, PathConfig
+from repro.netsim.packet.network import Network, PathConfig, QueueConfig
 
 __all__ = ["FlowConfig", "FlowResult", "PacketSimResult", "simulate"]
 
@@ -39,6 +42,10 @@ class FlowConfig:
     paced:
         Whether the application's loss-based connections pace their packets
         (BBR always paces).
+    ecn:
+        Whether the application's connections negotiate ECN: AQM queues
+        CE-mark their packets instead of dropping them, and the senders
+        respond to echoed marks with a window cut but no retransmission.
     treated:
         Arm label carried through to the results; does not change behaviour.
     rtt_ms:
@@ -55,6 +62,7 @@ class FlowConfig:
     cc: str = "reno"
     connections: int = 1
     paced: bool = False
+    ecn: bool = False
     treated: bool = False
     rtt_ms: float | None = None
     path: PathConfig | None = None
@@ -76,11 +84,17 @@ class FlowResult:
     retransmit_fraction: float
     packets_sent: int
     packets_lost: int
+    #: Acked packets that carried a CE mark (0 unless the flow uses ECN).
+    packets_marked: int = 0
 
 
 @dataclass
 class PacketSimResult:
-    """Results of a packet-level simulation run."""
+    """Results of a packet-level simulation run.
+
+    Cross-traffic applications are excluded from ``flows`` but their
+    packets still show up in the queue counters.
+    """
 
     flows: list[FlowResult]
     duration_s: float
@@ -89,6 +103,8 @@ class PacketSimResult:
     max_queue_occupancy_bytes: float
     #: Drops per named queue (one entry, "bottleneck", in the default topology).
     queue_drops: dict[str, int] = field(default_factory=dict)
+    #: ECN CE marks per named queue.
+    queue_marks: dict[str, int] = field(default_factory=dict)
 
     def flow(self, flow_id: int) -> FlowResult:
         """Result of the application with the given id."""
@@ -115,6 +131,10 @@ class PacketSimResult:
         """Aggregate throughput of all applications."""
         return sum(f.throughput_mbps for f in self.flows)
 
+    def total_marks(self) -> int:
+        """Aggregate ECN CE marks across all queues."""
+        return sum(self.queue_marks.values())
+
 
 def simulate(
     flows: Sequence[FlowConfig],
@@ -126,13 +146,16 @@ def simulate(
     warmup_s: float = 2.0,
     queue_discipline: str = "droptail",
     queue_params: Mapping[str, Any] | None = None,
+    extra_queues: Sequence[QueueConfig] | None = None,
+    cross_traffic: Sequence[FlowConfig] | None = None,
     seed: int | None = None,
 ) -> PacketSimResult:
     """Run a packet-level simulation of flows sharing a bottleneck.
 
     A thin wrapper over :class:`~repro.netsim.packet.network.Network`:
-    builds the default single-bottleneck topology, attaches every flow
-    (honouring per-flow ``rtt_ms`` and ``path`` overrides) and runs it.
+    builds the default single-bottleneck topology, adds any extra queues
+    and cross traffic, attaches every flow (honouring per-flow ``rtt_ms``
+    and ``path`` overrides) and runs it.
 
     Parameters
     ----------
@@ -154,11 +177,19 @@ def simulate(
     warmup_s:
         Time excluded from measurements while flows ramp up.
     queue_discipline:
-        Bottleneck queue discipline: ``"droptail"`` (default), ``"red"``
-        or ``"codel"``.
+        Bottleneck queue discipline: ``"droptail"`` (default), ``"red"``,
+        ``"codel"`` or ``"fq_codel"``.
     queue_params:
         Extra parameters for the queue discipline (RED thresholds, CoDel
         target delay, ...).
+    extra_queues:
+        Additional named queues beyond the default bottleneck (e.g. the
+        chain built by
+        :func:`~repro.netsim.packet.network.parking_lot_queues`); paths
+        may then route through them by name.
+    cross_traffic:
+        Unmeasured background applications: they compete in the queues
+        like any flow but are excluded from the result's ``flows``.
     seed:
         Seed for the random-loss and RED RNGs; inert for the default
         loss-free drop-tail topology.
@@ -167,9 +198,9 @@ def simulate(
         raise ValueError("at least one flow is required")
     if duration_s <= warmup_s:
         raise ValueError("duration_s must exceed warmup_s")
-    ids = [f.flow_id for f in flows]
+    ids = [f.flow_id for f in flows] + [f.flow_id for f in (cross_traffic or ())]
     if len(set(ids)) != len(ids):
-        raise ValueError("flow ids must be unique")
+        raise ValueError("flow ids must be unique (including cross traffic)")
 
     network = Network(
         capacity_mbps=capacity_mbps,
@@ -180,6 +211,10 @@ def simulate(
         queue_params=dict(queue_params) if queue_params else None,
         seed=seed,
     )
+    for queue_config in extra_queues or ():
+        network.add_queue_config(queue_config)
     for config in flows:
         network.add_flow(config)
+    for config in cross_traffic or ():
+        network.add_cross_traffic(config)
     return network.run(duration_s=duration_s, warmup_s=warmup_s)

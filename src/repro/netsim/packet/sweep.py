@@ -11,12 +11,13 @@ unchanged — this is what the packet-vs-fluid ablation builds on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from collections.abc import Callable, Mapping, Sequence
 from typing import Any
 
 from repro.core.estimands import PotentialOutcomeCurve
-from repro.netsim.packet.network import PathConfig
+from repro.netsim.packet.network import PathConfig, QueueConfig
+from repro.netsim.packet.queue import QUEUE_DISCIPLINES
 from repro.netsim.packet.simulation import FlowConfig, PacketSimResult
 from repro.runner.cache import ResultCache
 from repro.runner.executor import ParallelExecutor
@@ -72,6 +73,37 @@ class PacketSweepResult:
         return self.curve(metric).ate(allocation)
 
 
+def _discipline_consumes_seed(
+    discipline: str, params: Mapping[str, Any] | None
+) -> bool:
+    """Whether the network-level seed reaches this discipline's RNG.
+
+    A seed pinned in the discipline's own params overrides the network
+    seed, leaving the latter inert for this queue.
+    """
+    cls = QUEUE_DISCIPLINES.get(discipline)
+    return bool(cls is not None and cls.uses_seed and "seed" not in (params or {}))
+
+
+def _consumes_seed(
+    flows: Sequence[FlowConfig],
+    cross_traffic: Sequence[FlowConfig] | None,
+    queue_discipline: str,
+    queue_params: Mapping[str, Any] | None,
+    extra_queues: Sequence[QueueConfig] | None,
+) -> bool:
+    """Whether anything in one sweep arm draws from the seeded RNGs."""
+    for flow in [*flows, *(cross_traffic or ())]:
+        if flow.path is not None and flow.path.loss_rate > 0.0:
+            return True
+    if _discipline_consumes_seed(queue_discipline, queue_params):
+        return True
+    return any(
+        _discipline_consumes_seed(qc.discipline, qc.params)
+        for qc in (extra_queues or ())
+    )
+
+
 def run_packet_sweep(
     n_units: int,
     treatment_factory: Callable[[int], FlowConfig],
@@ -85,6 +117,8 @@ def run_packet_sweep(
     mss_bytes: int = 1500,
     queue_discipline: str = "droptail",
     queue_params: Mapping[str, Any] | None = None,
+    extra_queues: Sequence[QueueConfig] | None = None,
+    cross_traffic: Sequence[FlowConfig] | None = None,
     rtt_ms: Sequence[float] | None = None,
     loss_rate: float = 0.0,
     seed: int | None = None,
@@ -111,17 +145,30 @@ def run_packet_sweep(
         default capacity is scaled down from the paper's 10 Gb/s so the
         simulation finishes quickly; the sharing behaviour is rate-free.
     queue_discipline, queue_params:
-        Bottleneck queue discipline (``"droptail"``/``"red"``/``"codel"``)
-        and its extra parameters, applied to every arm.
+        Bottleneck queue discipline (``"droptail"``/``"red"``/``"codel"``/
+        ``"fq_codel"``) and its extra parameters, applied to every arm.
+    extra_queues:
+        Additional named queues (e.g. a parking-lot chain) added to every
+        arm; factory-supplied paths may route through them.
+    cross_traffic:
+        Unmeasured background applications attached to every arm.
     rtt_ms:
         Per-unit RTT profile: unit ``i`` gets ``rtt_ms[i % len(rtt_ms)]``
         unless its factory already set an explicit ``rtt_ms``.  ``None``
         keeps every unit on ``base_rtt_ms``.
     loss_rate:
-        Random-loss probability applied to every unit's path (unless the
-        factory supplied its own :class:`PathConfig`).
+        Random-loss probability applied to every unit's path.  Composes
+        with factory-supplied :class:`PathConfig`\\ s: a factory path that
+        left ``loss_rate`` at 0.0 picks up the sweep-level rate, while a
+        nonzero factory rate wins.  (A factory cannot pin a single flow
+        to *zero* loss inside a lossy sweep — 0.0 is indistinguishable
+        from unset.)
     seed:
-        Seed for the RED/random-loss RNGs; inert for loss-free drop-tail.
+        Seed for the RED/random-loss RNGs.  Normalized to ``None`` in the
+        scenario specs when nothing consumes randomness (no lossy path
+        segment and no seed-consuming discipline), mirroring the
+        inert-knob rule, so replications of deterministic sweeps share
+        one cache entry.
     jobs, cache, executor:
         Arms are independent, so they fan out over a
         :class:`~repro.runner.executor.ParallelExecutor` with ``jobs``
@@ -145,6 +192,10 @@ def run_packet_sweep(
         extra_params["queue_discipline"] = queue_discipline
     if queue_params:
         extra_params["queue_params"] = dict(queue_params)
+    if extra_queues:
+        extra_params["extra_queues"] = tuple(extra_queues)
+    if cross_traffic:
+        extra_params["cross_traffic"] = tuple(cross_traffic)
 
     specs: list[ScenarioSpec] = []
     for k in allocations:
@@ -155,19 +206,30 @@ def run_packet_sweep(
             if unit_rtt is None and rtt_ms is not None:
                 unit_rtt = float(rtt_ms[i % len(rtt_ms)])
             path = base.path
-            if path is None and loss_rate > 0.0:
-                path = PathConfig(loss_rate=loss_rate)
+            if loss_rate > 0.0:
+                # Compose with factory paths instead of silently ignoring
+                # the sweep-level rate; a nonzero factory rate wins.
+                if path is None:
+                    path = PathConfig(loss_rate=loss_rate)
+                elif path.loss_rate == 0.0:
+                    path = replace(path, loss_rate=loss_rate)
             flows.append(
                 FlowConfig(
                     flow_id=base.flow_id,
                     cc=base.cc,
                     connections=base.connections,
                     paced=base.paced,
+                    ecn=base.ecn,
                     treated=i < k,
                     rtt_ms=unit_rtt,
                     path=path,
                 )
             )
+        # The seed is inert when no RNG exists to consume it; keep it out
+        # of the content key so replications cannot split the cache.
+        spec_seed = seed if _consumes_seed(
+            flows, cross_traffic, queue_discipline, queue_params, extra_queues
+        ) else None
         specs.append(
             ScenarioSpec(
                 task="netsim.packet_arm",
@@ -181,7 +243,7 @@ def run_packet_sweep(
                     "mss_bytes": mss_bytes,
                     **extra_params,
                 },
-                seed=seed,
+                seed=spec_seed,
                 label=f"packet_arm[k={int(k)}/{n_units}, {queue_discipline}]",
             )
         )

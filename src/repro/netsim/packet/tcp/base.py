@@ -16,6 +16,14 @@ to update the congestion window, and may override
 :meth:`TcpSender.current_pacing_rate_bps` to pace at an algorithm-specific
 rate (BBR always paces; Reno/Cubic pace only when Linux-style ``fq`` pacing
 is enabled for the flow).
+
+Flows that negotiated ECN (``ecn=True``) send ECN-capable packets; an AQM
+queue may CE-mark such a packet instead of dropping it.  The mark comes
+back with the ack and triggers :meth:`TcpSender.on_ecn_mark` — a window
+reduction like a loss, but with **no retransmission** (the marked packet
+was delivered), and at most once per RTT (RFC 3168's one-reduction-per-
+window rule).  Marks therefore reduce throughput without moving the
+retransmit counters, decoupling the two observables.
 """
 
 from __future__ import annotations
@@ -47,6 +55,9 @@ class TcpSender:
     paced:
         Whether the flow paces its packets (Linux ``fq`` style) instead of
         sending ack-clocked bursts.
+    ecn:
+        Whether the flow negotiated ECN: its packets are ECN-capable and
+        echoed CE marks shrink the window instead of causing retransmits.
     initial_cwnd:
         Initial congestion window in packets.
     """
@@ -64,6 +75,7 @@ class TcpSender:
         mss_bytes: int = 1500,
         base_rtt_s: float = 0.02,
         paced: bool = False,
+        ecn: bool = False,
         initial_cwnd: float = 10.0,
     ):
         if mss_bytes <= 0:
@@ -78,6 +90,7 @@ class TcpSender:
         self.mss_bytes = int(mss_bytes)
         self.base_rtt_s = float(base_rtt_s)
         self.paced = bool(paced)
+        self.ecn = bool(ecn)
 
         # Congestion state.
         self.cwnd = float(initial_cwnd)
@@ -95,9 +108,14 @@ class TcpSender:
         self.packets_acked = 0
         self.packets_lost = 0
         self.packets_retransmitted = 0
+        self.packets_marked = 0
         self.bytes_sent = 0
         self.bytes_acked = 0
         self.bytes_retransmitted = 0
+
+        # ECN: earliest time the next echoed mark may shrink the window
+        # (one reduction per RTT, cf. RFC 3168's once-per-window rule).
+        self._ecn_reaction_deadline = 0.0
 
         # Counters at the start of the measurement window.
         self._measure_start_time = 0.0
@@ -167,6 +185,16 @@ class TcpSender:
         """Update congestion state after a loss."""
         raise NotImplementedError
 
+    def on_ecn_mark(self, packet: Packet) -> None:
+        """Update congestion state after an echoed CE mark.
+
+        Defaults to the subclass's loss response — the packet was
+        delivered, so the base class queues no retransmission and the
+        retransmit counters stay untouched.  Rate-based algorithms that
+        ignore loss (BBR) override this to ignore marks too.
+        """
+        self.on_loss(packet)
+
     @property
     def in_slow_start(self) -> bool:
         """True while the window is below the slow-start threshold."""
@@ -193,6 +221,12 @@ class TcpSender:
             self.min_rtt = min(self.min_rtt, rtt_sample)
             # Standard EWMA with alpha = 1/8.
             self.srtt = 0.875 * self.srtt + 0.125 * rtt_sample
+        if packet.ce_marked:
+            self.packets_marked += 1
+            now = self.scheduler.now
+            if now >= self._ecn_reaction_deadline:
+                self._ecn_reaction_deadline = now + self.srtt
+                self.on_ecn_mark(packet)
         self.on_ack(packet, rtt_sample)
         self._try_send()
 
@@ -218,6 +252,7 @@ class TcpSender:
             size_bytes=self.mss_bytes,
             send_time=self.scheduler.now,
             is_retransmission=retransmission,
+            ecn_capable=self.ecn,
         )
         self.next_sequence += 1
         return packet

@@ -102,6 +102,11 @@ class BBRSender(TcpSender):
         # base class bookkeeping but the rate model is unchanged.
         self._delivered_at_send.pop(packet.sequence, None)
 
+    def on_ecn_mark(self, packet: Packet) -> None:
+        # BBRv1 ignores ECN like it ignores loss.  The marked packet was
+        # delivered, so its delivery sample must stay for on_ack.
+        pass
+
     # -- phase machine -------------------------------------------------------------
 
     def _update_phase(self) -> None:

@@ -53,12 +53,16 @@ def packet_arm(
     mss_bytes: int = 1500,
     queue_discipline: str = "droptail",
     queue_params: Mapping[str, Any] | None = None,
+    extra_queues: Sequence[Any] | None = None,
+    cross_traffic: Sequence[Any] | None = None,
     seed: int | None = None,
 ) -> Any:
     """One packet-level simulation arm (a fixed set of flow configs).
 
     ``queue_discipline``/``queue_params`` select the bottleneck AQM;
-    per-flow RTTs and loss segments travel inside the flow configs.
+    per-flow RTTs, ECN and loss segments travel inside the flow configs;
+    ``extra_queues``/``cross_traffic`` describe multi-bottleneck
+    topologies and unmeasured background load.
     """
     from repro.netsim.packet.simulation import simulate
 
@@ -72,6 +76,8 @@ def packet_arm(
         warmup_s=warmup_s,
         queue_discipline=queue_discipline,
         queue_params=dict(queue_params) if queue_params else None,
+        extra_queues=list(extra_queues) if extra_queues else None,
+        cross_traffic=list(cross_traffic) if cross_traffic else None,
         seed=seed,
     )
 
@@ -183,6 +189,8 @@ FIGURE_CELL_TASKS: tuple[str, ...] = (
     "fig10",
     "topo_rtt",
     "topo_aqm",
+    "topo_parking",
+    "topo_fq",
 )
 
 
@@ -203,7 +211,7 @@ def figure_cells(
     """
     if figure in ("fig2a", "fig2b", "fig3"):
         return _lab_cells(figure, noise=noise, seed=seed)
-    if figure in ("topo_rtt", "topo_aqm"):
+    if figure in ("topo_rtt", "topo_aqm", "topo_parking", "topo_fq"):
         return _topology_cells(figure, quick=quick)
     if figure in FIGURE_CELL_TASKS:
         return _paired_cells(figure, quick=quick, seed=seed)
@@ -236,6 +244,10 @@ def _lab_cells(figure: str, noise: float, seed: int | None) -> dict[str, float]:
 def _topology_cells(figure: str, quick: bool) -> dict[str, float]:
     # Packet-level topology figures are deterministic, so the seed is
     # deliberately not consumed: every replication returns the same cells.
+    from repro.experiments.lab_parking_lot import (
+        run_fq_experiment,
+        run_parking_lot_experiment,
+    )
     from repro.experiments.lab_topology import run_aqm_experiment, run_rtt_experiment
 
     if figure == "topo_rtt":
@@ -246,8 +258,19 @@ def _topology_cells(figure: str, quick: bool) -> dict[str, float]:
             "ab_throughput_mbps@0.5": fig.ab_estimate("throughput_mbps", 0.5),
             "spillover_throughput@0.5": fig.spillover("throughput_mbps", 0.5),
         }
-    comparison = run_aqm_experiment(quick=quick)
-    cells: dict[str, float] = {}
+    if figure == "topo_parking":
+        parking = run_parking_lot_experiment(quick=quick)
+        cells = {
+            f"bias_throughput@0.5:{topology}": parking.bias(topology)
+            for topology in parking.figures
+        }
+        cells["remote_spillover_mbps"] = parking.remote_spillover_mbps
+        return cells
+    if figure == "topo_fq":
+        comparison = run_fq_experiment(quick=quick)
+    else:
+        comparison = run_aqm_experiment(quick=quick)
+    cells = {}
     for discipline, fig in comparison.figures.items():
         cells[f"bias_throughput@0.5:{discipline}"] = comparison.bias(discipline)
         cells[f"tte_throughput_mbps:{discipline}"] = fig.tte("throughput_mbps")

@@ -1,0 +1,128 @@
+"""End-to-end ECN semantics on the packet simulator.
+
+The contract under test: CE marks replace AQM drops for ECN flows, the
+sender's window responds to echoed marks, and — the new observable for
+the bias analysis — marks move throughput *without* moving the
+retransmit counters.
+"""
+
+import pytest
+
+from repro.netsim.packet.network import Network
+from repro.netsim.packet.simulation import FlowConfig, simulate
+
+
+def _codel_run(flows, **kwargs):
+    defaults = dict(
+        capacity_mbps=20.0,
+        duration_s=6.0,
+        warmup_s=2.0,
+        queue_discipline="codel",
+        # A deep buffer so the hard limit never fires: every AQM decision
+        # is a CoDel decision, which marks ECN flows instead of dropping.
+        buffer_bdp=20.0,
+    )
+    defaults.update(kwargs)
+    return simulate(flows, **defaults)
+
+
+class TestMarksAreNotRetransmits:
+    def test_ecn_flow_is_marked_but_never_retransmits(self):
+        result = _codel_run([FlowConfig(0, ecn=True), FlowConfig(1, ecn=True)])
+        assert result.total_marks() > 0
+        for flow in result.flows:
+            assert flow.packets_marked > 0
+            assert flow.packets_lost == 0
+            assert flow.retransmit_fraction == 0.0
+
+    def test_non_ecn_flow_on_same_queue_still_drops(self):
+        result = _codel_run([FlowConfig(0, ecn=True), FlowConfig(1)])
+        ecn_flow, plain_flow = result.flow(0), result.flow(1)
+        assert ecn_flow.packets_marked > 0
+        assert ecn_flow.packets_lost == 0
+        assert plain_flow.packets_marked == 0
+        assert plain_flow.packets_lost > 0
+        assert plain_flow.retransmit_fraction > 0.0
+
+    def test_queue_marks_reported_per_queue(self):
+        result = _codel_run([FlowConfig(0, ecn=True), FlowConfig(1, ecn=True)])
+        assert set(result.queue_marks) == {"bottleneck"}
+        assert result.queue_marks["bottleneck"] == result.total_marks()
+
+
+class TestMarksControlThroughput:
+    def test_ecn_flow_shares_fairly_with_loss_based_peer(self):
+        # If the sender ignored marks, the never-dropped ECN flow would
+        # overrun its loss-backed peer; reacting to marks keeps the split
+        # near 50/50.
+        result = _codel_run([FlowConfig(0, ecn=True), FlowConfig(1)])
+        total = result.total_throughput_mbps()
+        assert result.flow(0).throughput_mbps / total < 0.65
+
+    def test_solo_ecn_flow_runs_lossless_at_capacity(self):
+        result = _codel_run([FlowConfig(0, ecn=True)], capacity_mbps=10.0)
+        flow = result.flow(0)
+        assert flow.packets_marked > 0
+        assert flow.packets_lost == 0
+        assert flow.throughput_mbps > 8.5  # > 85% of the link, no losses
+
+    def test_ecn_keeps_queue_shorter_than_ignoring_marks_would(self):
+        # BBR ignores marks; Reno reacts.  Same ECN negotiation, same
+        # queue: the reacting sender holds a smaller standing queue.
+        def mean_srtt(cc):
+            network = Network(capacity_mbps=20.0, queue_discipline="codel")
+            network.add_flow(FlowConfig(0, cc=cc, ecn=True))
+            network.run(duration_s=6.0, warmup_s=2.0)
+            (sender,) = network._senders.values()
+            return sender.srtt
+
+        assert mean_srtt("reno") <= mean_srtt("bbr") * 1.05
+
+    def test_bbr_ignores_marks(self):
+        result = _codel_run([FlowConfig(0, cc="bbr", ecn=True)], capacity_mbps=10.0)
+        flow = result.flow(0)
+        # Marks are observed (counted) but do not curb BBR's rate model.
+        assert flow.throughput_mbps > 8.5
+
+
+class TestEcnUnderFqCodel:
+    def test_fq_codel_marks_ecn_units(self):
+        flows = [FlowConfig(i, ecn=True) for i in range(3)]
+        result = simulate(
+            flows,
+            capacity_mbps=20.0,
+            duration_s=6.0,
+            warmup_s=2.0,
+            queue_discipline="fq_codel",
+            buffer_bdp=20.0,
+        )
+        assert result.total_marks() > 0
+        for flow in result.flows:
+            assert flow.packets_lost == 0
+            assert flow.retransmit_fraction == 0.0
+
+    def test_mixed_ecn_and_plain_units_coexist(self):
+        flows = [FlowConfig(0, ecn=True), FlowConfig(1), FlowConfig(2, ecn=True)]
+        result = simulate(
+            flows,
+            capacity_mbps=20.0,
+            duration_s=6.0,
+            warmup_s=2.0,
+            queue_discipline="fq_codel",
+            buffer_bdp=20.0,
+        )
+        shares = [f.throughput_mbps for f in result.flows]
+        # Per-unit DRR still splits capacity evenly regardless of ECN.
+        assert max(shares) < 1.3 * min(shares)
+
+
+class TestEcnDeterminism:
+    def test_ecn_runs_reproducible(self):
+        def run():
+            return _codel_run([FlowConfig(0, ecn=True), FlowConfig(1)])
+
+        assert run() == run()
+
+    def test_ecn_config_validates_like_any_flow(self):
+        with pytest.raises(ValueError):
+            FlowConfig(0, ecn=True, connections=0)

@@ -1,8 +1,16 @@
-"""Tests for the composable network layer (paths, per-flow RTT, loss)."""
+"""Tests for the composable network layer (paths, per-flow RTT, loss,
+cross traffic, parking-lot topologies)."""
 
 import pytest
 
-from repro.netsim.packet.network import DEFAULT_QUEUE, Network, PathConfig
+from repro.netsim.packet.network import (
+    DEFAULT_QUEUE,
+    Network,
+    PathConfig,
+    QueueConfig,
+    parking_lot_path,
+    parking_lot_queues,
+)
 from repro.netsim.packet.simulation import FlowConfig, simulate
 
 
@@ -129,6 +137,149 @@ class TestMultiQueuePaths:
             network.add_queue("q1", capacity_mbps=5.0)
         with pytest.raises(ValueError):
             network.add_queue("q2", capacity_mbps=5.0, buffer_bytes=1000.0, buffer_bdp=1.0)
+
+
+class TestCrossTraffic:
+    def test_cross_traffic_excluded_from_results_but_competes(self):
+        # A lone measured flow against heavy cross traffic: the result
+        # reports one flow, yet its throughput is a fraction of the link.
+        solo = simulate(
+            [FlowConfig(0)], capacity_mbps=20.0, duration_s=6.0, warmup_s=2.0
+        )
+        crowded = simulate(
+            [FlowConfig(0)],
+            capacity_mbps=20.0,
+            duration_s=6.0,
+            warmup_s=2.0,
+            cross_traffic=[FlowConfig(100 + i) for i in range(3)],
+        )
+        assert [f.flow_id for f in crowded.flows] == [0]
+        assert crowded.flow(0).throughput_mbps < 0.5 * solo.flow(0).throughput_mbps
+
+    def test_cross_traffic_drops_appear_in_queue_counters(self):
+        result = simulate(
+            [FlowConfig(0)],
+            capacity_mbps=20.0,
+            duration_s=6.0,
+            warmup_s=2.0,
+            cross_traffic=[FlowConfig(100 + i) for i in range(3)],
+        )
+        # The queue saw much more traffic than the one measured flow sent.
+        assert result.queue_drops[DEFAULT_QUEUE] > result.flow(0).packets_lost
+
+    def test_cross_traffic_id_collision_raises(self):
+        with pytest.raises(ValueError, match="unique"):
+            simulate(
+                [FlowConfig(0)],
+                duration_s=2.0,
+                warmup_s=1.0,
+                cross_traffic=[FlowConfig(0)],
+            )
+
+    def test_cross_traffic_alone_is_rejected(self):
+        network = Network()
+        network.add_cross_traffic(FlowConfig(7))
+        with pytest.raises(ValueError, match="at least one flow"):
+            network.run(duration_s=2.0, warmup_s=1.0)
+
+
+class TestQueueConfig:
+    def test_add_queue_config_round_trip(self):
+        network = Network(capacity_mbps=50.0)
+        queue = network.add_queue_config(
+            QueueConfig(name="access", capacity_mbps=10.0, buffer_bytes=30_000.0)
+        )
+        assert network.queues["access"] is queue
+        assert queue.buffer_bytes == 30_000.0
+
+    def test_defaults_to_one_bdp_buffer(self):
+        network = Network(capacity_mbps=50.0, base_rtt_ms=20.0)
+        queue = network.add_queue_config(QueueConfig(name="q", capacity_mbps=10.0))
+        assert queue.buffer_bytes == pytest.approx(10e6 / 8.0 * 0.02)
+
+    def test_params_reach_the_discipline(self):
+        network = Network()
+        queue = network.add_queue_config(
+            QueueConfig(
+                name="aqm",
+                capacity_mbps=10.0,
+                discipline="codel",
+                params={"target_delay_s": 0.02},
+            )
+        )
+        assert queue._codel.target_s == 0.02
+
+    def test_invalid_configs_raise(self):
+        with pytest.raises(ValueError):
+            QueueConfig(name="q", capacity_mbps=0.0)
+        with pytest.raises(ValueError):
+            QueueConfig(name="q", capacity_mbps=1.0, buffer_bytes=1.0, buffer_bdp=1.0)
+
+
+class TestParkingLotBuilders:
+    def test_queues_named_in_sequence(self):
+        queues = parking_lot_queues(3, 20.0)
+        assert [q.name for q in queues] == ["seg0", "seg1", "seg2"]
+        assert all(q.capacity_mbps == 20.0 for q in queues)
+
+    def test_path_spans_consecutive_segments(self):
+        assert parking_lot_path(1, 4).queues == ("seg1", "seg2")
+        assert parking_lot_path(0, 4, span=3).queues == ("seg0", "seg1", "seg2")
+
+    def test_path_start_clamped_to_chain(self):
+        assert parking_lot_path(5, 4).queues == ("seg2", "seg3")
+
+    def test_single_segment_path_for_cross_traffic(self):
+        assert parking_lot_path(2, 4, span=1).queues == ("seg2",)
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError):
+            parking_lot_queues(1, 20.0)
+        with pytest.raises(ValueError):
+            parking_lot_path(0, 4, span=0)
+        with pytest.raises(ValueError):
+            parking_lot_path(0, 4, span=5)
+        with pytest.raises(ValueError):
+            parking_lot_path(-1, 4)
+
+    def test_parking_lot_simulation_runs_end_to_end(self):
+        result = simulate(
+            [
+                FlowConfig(i, path=parking_lot_path(i % 3, 4))
+                for i in range(4)
+            ],
+            capacity_mbps=20.0,
+            duration_s=6.0,
+            warmup_s=2.0,
+            extra_queues=parking_lot_queues(4, 20.0),
+            cross_traffic=[
+                FlowConfig(100 + s, path=parking_lot_path(s, 4, span=1))
+                for s in range(4)
+            ],
+        )
+        assert len(result.flows) == 4
+        assert {f"seg{i}" for i in range(4)} <= set(result.queue_drops)
+        assert result.total_throughput_mbps() > 0.0
+
+
+class TestFqCodelThroughNetwork:
+    def test_subqueues_keyed_by_application_not_connection(self):
+        # Per-unit fair queueing: a 2-connection app and a 1-connection
+        # app get (approximately) the same share, unlike under drop-tail.
+        def shares(discipline):
+            result = simulate(
+                [FlowConfig(0, connections=2), FlowConfig(1, connections=1)],
+                capacity_mbps=20.0,
+                duration_s=8.0,
+                warmup_s=2.0,
+                queue_discipline=discipline,
+            )
+            return result.flow(0).throughput_mbps, result.flow(1).throughput_mbps
+
+        fq_two, fq_one = shares("fq_codel")
+        dt_two, dt_one = shares("droptail")
+        assert fq_two / fq_one < 1.2  # near-equal under per-unit FQ
+        assert dt_two / dt_one > 1.5  # connection count pays under FIFO
 
 
 class TestNetworkValidation:

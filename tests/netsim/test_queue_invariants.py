@@ -1,4 +1,5 @@
-"""Invariant tests for every queue discipline (drop-tail, RED, CoDel).
+"""Invariant tests for every queue discipline (drop-tail, RED, CoDel,
+FQ-CoDel).
 
 Three properties must hold regardless of the admission/dequeue policy:
 
@@ -6,6 +7,9 @@ Three properties must hold regardless of the admission/dequeue policy:
 * bounded occupancy — the buffer limit is never exceeded;
 * determinism — a discipline's behaviour is a pure function of its
   construction parameters (RED draws all randomness from its seed).
+
+FQ-CoDel adds per-flow isolation (a bursty flow cannot starve a steady
+one) and ECN adds the mark-instead-of-drop path on every AQM.
 """
 
 import pytest
@@ -16,6 +20,7 @@ from repro.netsim.packet.queue import (
     QUEUE_DISCIPLINES,
     CoDelQueue,
     DropTailQueue,
+    FqCoDelQueue,
     REDQueue,
     make_queue,
 )
@@ -23,8 +28,11 @@ from repro.netsim.packet.queue import (
 ALL_DISCIPLINES = sorted(QUEUE_DISCIPLINES)
 
 
-def make_packet(seq, size=1000, flow_id=0):
-    return Packet(flow_id=flow_id, sequence=seq, size_bytes=size, send_time=0.0)
+def make_packet(seq, size=1000, flow_id=0, ecn=False):
+    return Packet(
+        flow_id=flow_id, sequence=seq, size_bytes=size, send_time=0.0,
+        ecn_capable=ecn,
+    )
 
 
 def build(discipline, rate_bps=8_000.0, buffer_bytes=4_000.0, **params):
@@ -144,6 +152,77 @@ class TestRED:
                      min_threshold=0.8, max_threshold=0.2)
 
 
+class TestRedIdleDecay:
+    """Regression: RED's EWMA must decay across idle periods.
+
+    Without the Floyd & Jacobson idle-time correction the average stays
+    stale-high after the queue drains, and RED over-drops the first
+    packets of the next burst (with the parameters below, every arrival
+    while the stale average sat above ``max_threshold`` was refused).
+    """
+
+    KWARGS = dict(
+        rate_bps=8_000.0,  # one 1000-byte packet per second
+        buffer_bytes=20_000.0,
+        weight=0.5,
+        min_threshold=0.05,
+        max_threshold=0.2,
+        max_drop_probability=1.0,
+        seed=0,
+    )
+
+    def _burst(self, sched, queue, start, n):
+        for i in range(n):
+            sched.schedule(
+                start + i * 0.01,
+                lambda i=i: queue.enqueue(make_packet(i)),
+            )
+
+    def test_second_burst_after_long_idle_sees_fresh_queue(self):
+        sched, queue, _, dropped = build("red", **self.KWARGS)
+        # Burst 1 pushes the EWMA well above min_threshold (1000 bytes).
+        self._burst(sched, queue, 0.0, 10)
+        sched.run(until=50.0)  # fully drained; idle for ~40 packet-times
+        assert queue.occupancy_packets == 0
+        assert queue._avg_bytes > queue._min_bytes  # stale-high before decay
+        first_burst_drops = len(dropped)
+        assert first_burst_drops > 0  # RED was active during burst 1
+
+        # Burst 2 after the long idle: the correction must have decayed
+        # the average below min_threshold by the first arrival, so the
+        # opening packets of the fresh burst are admitted (the stale-high
+        # average used to push RED straight into its drop region).  RED
+        # may drop again later, once burst 2 itself rebuilds the queue.
+        decayed_avg = []
+        sched.schedule(
+            50.0,
+            lambda: (
+                queue.enqueue(make_packet(100)),
+                decayed_avg.append(queue._avg_bytes),
+            ),
+        )
+        self._burst(sched, queue, 50.01, 9)
+        sched.run(until=100.0)
+        assert decayed_avg[0] < queue._min_bytes  # idle correction applied
+        # The EWMA needs several arrivals to climb back over min_threshold,
+        # so the first packets of burst 2 can never be early-dropped.
+        assert all(not 50.0 <= t < 50.025 for _, t in dropped)
+        # Burst 2 replays burst 1's dynamics from a fresh average instead
+        # of over-dropping from the stale one.
+        second_burst_drops = len(dropped) - first_burst_drops
+        assert second_burst_drops <= first_burst_drops + 2
+
+    def test_short_idle_decays_partially(self):
+        sched, queue, _, _ = build("red", **self.KWARGS)
+        self._burst(sched, queue, 0.0, 10)
+        sched.run(until=11.0)  # just drained, barely idle
+        stale = queue._avg_bytes
+        queue.enqueue(make_packet(99))
+        # One idle second = one serviceable packet = one (1 - w) factor,
+        # then the arrival's own zero-occupancy sample.
+        assert 0.0 < queue._avg_bytes < stale
+
+
 class TestCoDel:
     def test_no_drops_below_target_delay(self):
         # 8 Mb/s, one 1000-byte packet per 10 ms => 1 ms sojourn << 5 ms target.
@@ -190,6 +269,208 @@ class TestCoDel:
         with pytest.raises(ValueError):
             CoDelQueue(sched, 8000.0, 1000.0, lambda p, t: None, lambda p, t: None,
                        target_delay_s=0.0)
+
+
+class TestFqCoDel:
+    """Per-flow isolation, DRR fairness and determinism of FQ-CoDel."""
+
+    RATE = 8_000_000.0  # 1000-byte packet per millisecond
+
+    def _two_flow_run(self, discipline):
+        """A bursty flow 0 overloading the link against a paced flow 1.
+
+        Returns the packets served per flow and the mean queueing delay
+        experienced by the paced flow's delivered packets.
+        """
+        sched, queue, departed, dropped = build(
+            discipline, rate_bps=self.RATE, buffer_bytes=30_000.0,
+        )
+        flow_of, arrival_of = {}, {}
+        seq = 0
+        # Flow 0: 25-packet bursts every 12.5 ms (2000 pps, 2x the link).
+        for burst in range(80):
+            for j in range(25):
+                flow_of[seq] = 0
+                arrival_of[seq] = burst * 0.0125
+                sched.schedule(
+                    burst * 0.0125,
+                    lambda s=seq: queue.enqueue(make_packet(s, flow_id=0)),
+                )
+                seq += 1
+        # Flow 1: one packet every 2.5 ms (400 pps, below its fair share).
+        for i in range(400):
+            flow_of[seq] = 1
+            arrival_of[seq] = i * 0.0025
+            sched.schedule(
+                i * 0.0025,
+                lambda s=seq: queue.enqueue(make_packet(s, flow_id=1)),
+            )
+            seq += 1
+        sched.run(until=1e6)
+        served = {0: 0, 1: 0}
+        delays = []
+        for s, t in departed:
+            served[flow_of[s]] += 1
+            if flow_of[s] == 1:
+                delays.append(t - arrival_of[s])
+        return served, sum(delays) / len(delays)
+
+    def test_bursty_flow_cannot_starve_paced_flow(self):
+        served, fq_delay = self._two_flow_run("fq_codel")
+        # The paced flow stays below its fair share, so virtually all of
+        # its packets come through despite the overloading bursts (the
+        # buffer overflows land on the fattest sub-queue, the burster's)
+        # and they never wait behind the burster's backlog.
+        assert served[1] >= 0.95 * 400
+        _, droptail_delay = self._two_flow_run("droptail")
+        assert fq_delay < 0.25 * droptail_delay
+
+    def test_fattest_subqueue_pays_for_overflow(self):
+        # All buffer-overflow drops land on the overloading flow.
+        sched, queue, departed, dropped = build(
+            "fq_codel", rate_bps=self.RATE, buffer_bytes=30_000.0,
+        )
+        for i in range(200):  # flow 0: 2x overload, sustained
+            sched.schedule(
+                i * 0.0005, lambda i=i: queue.enqueue(make_packet(i, flow_id=0))
+            )
+        for i in range(200, 240):  # flow 1: well below its fair share
+            sched.schedule(
+                (i - 200) * 0.0025,
+                lambda i=i: queue.enqueue(make_packet(i, flow_id=1)),
+            )
+        sched.run(until=1e6)
+        assert queue.packets_dropped > 0
+        assert all(s < 200 for s, _ in dropped)  # only flow 0 pays
+
+    def test_backlogged_flows_share_capacity_equally(self):
+        sched, queue, departed, _ = build(
+            "fq_codel", rate_bps=self.RATE, buffer_bytes=1e9,
+        )
+        # Both flows dump 300 packets at t=0; DRR must alternate service.
+        for i in range(300):
+            queue.enqueue(make_packet(i, flow_id=0))
+        for i in range(300, 600):
+            queue.enqueue(make_packet(i, flow_id=1))
+        sched.run(until=0.2)  # enough for ~200 departures
+        first = [s for s, _ in departed][:150]
+        flow1_share = sum(1 for s in first if s >= 300) / len(first)
+        assert 0.4 <= flow1_share <= 0.6
+
+    def test_seeded_runs_identical(self):
+        outcomes = []
+        for _ in range(2):
+            sched, queue, departed, dropped = build(
+                "fq_codel", rate_bps=800_000.0, buffer_bytes=50_000.0,
+            )
+            for i in range(300):
+                sched.schedule(
+                    i * 0.005,
+                    lambda i=i: queue.enqueue(make_packet(i, flow_id=i % 3)),
+                )
+            sched.run(until=1e6)
+            outcomes.append((tuple(departed), tuple(dropped)))
+        assert outcomes[0] == outcomes[1]
+
+    def test_custom_flow_key_classifier(self):
+        # Keying both flows to one sub-queue removes the isolation: the
+        # two-flow run behaves like one FIFO with CoDel.
+        sched, queue, departed, _ = build(
+            "fq_codel", rate_bps=self.RATE, buffer_bytes=1e9,
+            flow_key=lambda packet: 0,
+        )
+        for i in range(100):
+            queue.enqueue(make_packet(i, flow_id=i % 2))
+        sched.run(until=0.06)
+        # One shared sub-queue: strict FIFO order, no DRR interleaving.
+        assert [s for s, _ in departed][:50] == list(range(50))
+
+    def test_oversized_arrival_refused_without_evictions(self):
+        # A packet that can never fit must be refused up front, not make
+        # room by flushing innocent flows' backlogs first.
+        sched, queue, _, dropped = build(
+            "fq_codel", rate_bps=8_000.0, buffer_bytes=2_000.0,
+        )
+        queue.enqueue(make_packet(0, flow_id=0))  # straight into service
+        queue.enqueue(make_packet(1, flow_id=1))  # queued
+        assert queue.enqueue(make_packet(2, size=4000, flow_id=2)) is False
+        assert queue.occupancy_packets == 1  # nobody was evicted
+        assert [s for s, _ in dropped] == [2]
+
+    def test_invalid_parameters_raise(self):
+        sched = EventScheduler()
+        with pytest.raises(ValueError):
+            FqCoDelQueue(sched, 8000.0, 1000.0, lambda p, t: None,
+                         lambda p, t: None, quantum_bytes=0.0)
+        with pytest.raises(ValueError):
+            FqCoDelQueue(sched, 8000.0, 1000.0, lambda p, t: None,
+                         lambda p, t: None, target_delay_s=0.0)
+
+
+class TestEcnMarking:
+    """AQMs CE-mark ECN-capable packets instead of dropping them."""
+
+    def _overload(self, sched, queue, n, gap_s, ecn):
+        for i in range(n):
+            sched.schedule(
+                i * gap_s,
+                lambda i=i: queue.enqueue(make_packet(i, ecn=ecn)),
+            )
+
+    def test_codel_marks_instead_of_drops(self):
+        results = {}
+        for ecn in (False, True):
+            sched, queue, departed, dropped = build(
+                "codel", rate_bps=800_000.0, buffer_bytes=1e9,
+            )
+            self._overload(sched, queue, 400, 0.005, ecn)
+            sched.run(until=1e6)
+            results[ecn] = (queue.packets_dropped, queue.packets_marked,
+                            len(departed))
+        drops_plain, marks_plain, _ = results[False]
+        drops_ecn, marks_ecn, served_ecn = results[True]
+        assert drops_plain > 0 and marks_plain == 0
+        assert marks_ecn > 0 and drops_ecn == 0
+        assert served_ecn == 400  # every ECN packet was delivered
+
+    def test_red_marks_instead_of_early_drops(self):
+        kwargs = dict(
+            rate_bps=8_000.0, buffer_bytes=40_000.0, weight=0.5,
+            min_threshold=0.05, max_threshold=0.5, max_drop_probability=0.9,
+            seed=3,
+        )
+        sched, queue, _, dropped = build("red", **kwargs)
+        self._overload(sched, queue, 30, 0.01, ecn=True)
+        sched.run(until=1e6)
+        assert queue.packets_marked > 0
+        assert queue.packets_dropped == 0  # buffer never filled
+
+    def test_red_buffer_overflow_still_drops_ecn_packets(self):
+        sched, queue, _, dropped = build(
+            "red", rate_bps=8_000.0, buffer_bytes=2_000.0, seed=0,
+        )
+        for i in range(6):
+            queue.enqueue(make_packet(i, ecn=True))
+        # 1 in service + 2 waiting fit; the rest exceed the hard limit.
+        assert queue.packets_dropped == 3
+
+    def test_droptail_never_marks(self):
+        sched, queue, _, dropped = build("droptail", buffer_bytes=2_000.0)
+        self._overload(sched, queue, 40, 0.01, ecn=True)
+        sched.run(until=1e6)
+        assert queue.packets_marked == 0
+        assert queue.packets_dropped > 0
+
+    def test_marked_packets_counted_as_served_not_dropped(self):
+        sched, queue, departed, dropped = build(
+            "fq_codel", rate_bps=800_000.0, buffer_bytes=1e9,
+        )
+        self._overload(sched, queue, 400, 0.005, ecn=True)
+        sched.run(until=1e6)
+        assert queue.packets_marked > 0
+        assert queue.packets_dropped == 0
+        assert queue.packets_served == queue.packets_offered == 400
+        assert len(departed) == 400 and dropped == []
 
 
 class TestFactory:

@@ -76,6 +76,32 @@ class TestCommands:
         assert "queue discipline: red" in out
         assert "codel" not in out
 
+    def test_topo_fq_command_quick(self, capsys):
+        assert main(["topo_fq", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "queue discipline: droptail" in out
+        assert "queue discipline: fq_codel" in out
+        assert "bias" in out.lower()
+
+    def test_topo_fq_custom_disciplines(self, capsys):
+        argv = ["topo_fq", "--quick", "--disciplines", "droptail,codel,fq_codel"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "queue discipline: codel" in out
+        assert "queue discipline: fq_codel" in out
+
+    def test_topo_parking_command_quick(self, capsys):
+        assert main(["topo_parking", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "topology: single" in out
+        assert "topology: parking" in out
+        assert "cross-segment spillover" in out
+
+    def test_topo_parking_invalid_segments_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["topo_parking", "--quick", "--segments", "3"])
+        assert "--segments" in capsys.readouterr().err
+
     def test_invalid_rtt_spread_rejected(self):
         with pytest.raises(SystemExit):
             main(["topo_rtt", "--quick", "--rtt-spread", "10,-4"])
@@ -114,6 +140,15 @@ class TestParallelDeterminism:
         parallel = capsys.readouterr().out
         assert serial == parallel
 
+    @pytest.mark.parametrize("figure", ["topo_fq", "topo_parking"])
+    def test_new_topology_figures_same_output_jobs_1_vs_4(self, figure, capsys):
+        argv = [figure, "--quick"]
+        assert main([*argv, "--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main([*argv, "--jobs", "4"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
     def test_topology_figure_cached_rerun_identical(self, tmp_path, capsys):
         argv = ["topo_rtt", "--quick", "--cache", "--cache-dir", str(tmp_path)]
         assert main(argv) == 0
@@ -122,6 +157,19 @@ class TestParallelDeterminism:
         assert main(argv) == 0
         second = capsys.readouterr().out
         assert first == second
+
+    def test_parking_figure_cached_rerun_identical(self, tmp_path, capsys):
+        # Exercises content-keying of QueueConfig chains and cross-traffic
+        # flow configs inside the scenario specs.
+        argv = ["topo_parking", "--quick", "--cache", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        entries = len(list(tmp_path.glob("*.pkl")))
+        assert entries > 0
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert len(list(tmp_path.glob("*.pkl"))) == entries
 
 
 class TestSweepCommand:
@@ -180,6 +228,20 @@ class TestSweepCommand:
         out = capsys.readouterr().out
         assert "deterministic figure, 1 replication" in out
         assert "tte_throughput_mbps" in out
+
+    def test_fq_sweep_reports_both_disciplines(self, capsys):
+        assert main(["sweep", "topo_fq", "--quick", "--replications", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "deterministic figure, 1 replication" in out
+        assert "bias_throughput@0.5:droptail" in out
+        assert "bias_throughput@0.5:fq_codel" in out
+
+    def test_parking_sweep_reports_spillover_cell(self, capsys):
+        assert main(["sweep", "topo_parking", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "bias_throughput@0.5:single" in out
+        assert "bias_throughput@0.5:parking" in out
+        assert "remote_spillover_mbps" in out
 
     def test_topology_sweep_seed_does_not_split_cache(self, tmp_path, capsys):
         argv = ["sweep", "topo_rtt", "--quick", "--cache",

@@ -13,9 +13,13 @@ The package is organised in four layers:
     The lab substrate: a fluid bottleneck-sharing simulator and a
     packet-level discrete-event simulator with Reno, Cubic, BBR and pacing
     on a composable topology — pluggable queue disciplines (drop-tail,
-    RED, CoDel, FQ-CoDel), ECN marking, per-flow RTTs, lossy path
-    segments, multi-queue parking-lot chains and unmeasured cross
-    traffic.
+    RED, CoDel, FQ-CoDel with the RFC 8290 new-flow priority list), ECN
+    marking, per-flow RTTs, lossy path segments, multi-queue parking-lot
+    chains (optionally with heterogeneous per-segment capacities),
+    unmeasured cross traffic, and a dynamic-traffic subsystem
+    (``repro.netsim.traffic``): finite transfers with flow-completion
+    times, Poisson/on-off/trace arrival processes with heavy-tailed flow
+    sizes, and time-varying demand profiles.
 
 ``repro.workload``
     The production substrate: a synthetic Netflix-like paired-link video
@@ -40,7 +44,7 @@ from repro.core.estimators import (
 )
 from repro.core.units import OutcomeTable, Session, Unit
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Assignment",

@@ -10,6 +10,7 @@ Usage::
     repro topo_aqm --quick           # does CoDel shrink the A/B bias?
     repro topo_parking --jobs 4      # parking-lot bias + cross-segment spillover
     repro topo_fq --quick            # does per-flow FQ eliminate the bias?
+    repro topo_churn --quick         # bias under flow churn + switchback-vs-ramp
     repro sweep fig5 --replications 5 --jobs 4   # multi-seed mean ± CI
 
 Every figure command prints the same rows/series the corresponding
@@ -38,11 +39,13 @@ from repro.experiments import (
     compare_links_at_baseline,
     run_aqm_experiment,
     run_cc_experiment,
+    run_churn_experiment,
     run_connections_experiment,
     run_fq_experiment,
     run_pacing_experiment,
     run_parking_lot_experiment,
     run_rtt_experiment,
+    run_switchback_ramp_experiment,
 )
 from repro.reporting import format_table
 from repro.runner import ParallelExecutor, ResultCache, ScenarioSpec, default_cache_dir
@@ -62,7 +65,11 @@ LAB_FIGURES = {
 PAIRED_FIGURES = ("baseline", "fig5", "fig7", "fig8", "fig9", "fig10")
 
 #: Beyond-the-paper topology figures on the packet-level simulator.
-TOPOLOGY_FIGURES = ("topo_rtt", "topo_aqm", "topo_parking", "topo_fq")
+TOPOLOGY_FIGURES = ("topo_rtt", "topo_aqm", "topo_parking", "topo_fq", "topo_churn")
+
+#: Topology figures that consume the seed (dynamic-traffic randomness);
+#: the rest are deterministic and collapse to one sweep replication.
+SEEDED_TOPOLOGY_FIGURES = ("topo_churn",)
 
 
 def _make_cache(args: argparse.Namespace) -> ResultCache | None:
@@ -99,9 +106,41 @@ def _parse_disciplines(text: str, parser: argparse.ArgumentParser) -> tuple[str,
     return names
 
 
+def _parse_churn_rates(text: str, parser: argparse.ArgumentParser) -> tuple[float, ...]:
+    try:
+        values = tuple(float(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        values = ()
+    if not values or any(v < 0 for v in values) or len(set(values)) != len(values):
+        parser.error(
+            f"--churn-rates needs distinct non-negative comma-separated "
+            f"flow-per-second values, got {text!r}"
+        )
+    return values
+
+
 def _print_topology_figure(
     name: str, args: argparse.Namespace, parser: argparse.ArgumentParser
 ) -> None:
+    if name == "topo_churn":
+        cache = _make_cache(args)
+        comparison = run_churn_experiment(
+            churn_rates=_parse_churn_rates(args.churn_rates, parser),
+            quick=args.quick,
+            jobs=args.jobs,
+            cache=cache,
+            seed=args.seed,
+        )
+        print("\n".join(comparison.summary_lines()))
+        print()
+        ramp = run_switchback_ramp_experiment(
+            quick=args.quick,
+            jobs=args.jobs,
+            cache=cache,
+            seed=args.seed,
+        )
+        print("\n".join(ramp.summary_lines()))
+        return
     if name == "topo_rtt":
         figure = run_rtt_experiment(
             rtt_spread_ms=_parse_rtt_spread(args.rtt_spread, parser),
@@ -266,10 +305,14 @@ def _run_sweep(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
         params["noise"] = args.noise
     else:
         params["quick"] = args.quick
-    # Topology figures ignore the seed entirely (packet sims are
-    # deterministic), so replications would recompute identical cells;
-    # collapse them to one seed-free run.
-    deterministic = target in TOPOLOGY_FIGURES
+    # Topology figures other than topo_churn ignore the seed entirely
+    # (packet sims are deterministic), so replications would recompute
+    # identical cells; collapse them to one seed-free run.  topo_churn
+    # draws its arrivals and flow sizes from the seed, so its
+    # replications genuinely differ.
+    deterministic = (
+        target in TOPOLOGY_FIGURES and target not in SEEDED_TOPOLOGY_FIGURES
+    )
     replication_count = 1 if deterministic else args.replications
     specs = [
         ScenarioSpec(
@@ -359,6 +402,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=4,
         help="bottleneck segments in the topo_parking chain (default: 4)",
+    )
+    parser.add_argument(
+        "--churn-rates",
+        default="0,2,6",
+        help=(
+            "churn intensities compared by topo_churn, comma-separated flow "
+            "arrivals per second (default: 0,2,6; include 0 for the static "
+            "reference)"
+        ),
     )
     parser.add_argument(
         "--cache",

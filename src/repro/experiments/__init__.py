@@ -14,6 +14,9 @@ substrate and returns the rows/series behind the paper's figures:
   scenarios: multi-bottleneck parking lots with unmeasured cross traffic
   (bias amplification, cross-segment spillover) and per-flow FQ-CoDel
   (the paper's bias-elimination prediction).
+* :mod:`repro.experiments.lab_churn` — dynamic-traffic scenarios: the
+  A/B bias as a function of short-flow churn intensity, and a
+  switchback-vs-event-study comparison under a ramping demand profile.
 * :mod:`repro.experiments.baseline_validation` — the Section 4.1 baseline
   link-similarity table.
 * :mod:`repro.experiments.paired_link` — the Section 4 bitrate-capping
@@ -39,6 +42,12 @@ from repro.experiments.lab_parking_lot import (
     ParkingLotComparison,
     run_fq_experiment,
     run_parking_lot_experiment,
+)
+from repro.experiments.lab_churn import (
+    ChurnBiasComparison,
+    SwitchbackRampOutcome,
+    run_churn_experiment,
+    run_switchback_ramp_experiment,
 )
 from repro.experiments.paired_link import PairedLinkExperiment, PairedLinkOutcome
 from repro.experiments.baseline_validation import compare_links_at_baseline
@@ -67,6 +76,10 @@ __all__ = [
     "ParkingLotComparison",
     "run_parking_lot_experiment",
     "run_fq_experiment",
+    "ChurnBiasComparison",
+    "SwitchbackRampOutcome",
+    "run_churn_experiment",
+    "run_switchback_ramp_experiment",
     "PairedLinkExperiment",
     "PairedLinkOutcome",
     "compare_links_at_baseline",

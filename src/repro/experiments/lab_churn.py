@@ -1,0 +1,466 @@
+"""Churn experiments: A/B bias under dynamic traffic and time-varying demand.
+
+Two experiments put the dynamic-traffic subsystem to work on the paper's
+questions:
+
+* :func:`run_churn_experiment` — the connection-count A/B sweep (the
+  paper's Figure 2a treatment) re-run while a Poisson stream of finite,
+  heavy-tailed flows churns through the same bottleneck.  The zero-churn
+  arm is *exactly* today's static experiment (same sweep, same specs, so
+  it shares cache entries with ``topo_aqm``'s drop-tail sweep); the
+  churny arms answer: does short-flow churn — traffic that grabs
+  bandwidth during slow start and leaves — dilute or amplify the bias
+  the paper measured against long-lived competitors only?  Flow
+  completion times of the churning flows come back per intensity, an
+  observable the static lab could not produce at all.
+
+* :func:`run_switchback_ramp_experiment` — a time-based design under
+  demand that actually moves.  Background churn ramps up across the
+  experiment (each interval also ramps internally via
+  :class:`~repro.netsim.traffic.demand.RampDemand`), the intervals are
+  randomly assigned by the paper's
+  :class:`~repro.core.designs.switchback.SwitchbackDesign`, and the
+  switchback TTE estimate is compared against (a) the ground truth from
+  all-treated/all-control counterfactual runs of every interval and (b)
+  a before/after event study launched at the midpoint.  Under rising
+  demand the event study conflates launch with load; the switchback's
+  randomized intervals do not — Section 5's argument, reproduced on the
+  packet simulator.
+
+Both run every simulation arm through the
+:class:`~repro.runner.executor.ParallelExecutor` (``jobs``/``cache``),
+so results are deterministic for a fixed seed and bit-identical for any
+worker count.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.core.designs.switchback import SwitchbackDesign
+from repro.experiments.lab_common import LabFigure, packet_sweep_to_figure
+from repro.experiments.lab_topology import _sweep_scale
+from repro.netsim.packet.simulation import FlowConfig
+from repro.netsim.packet.sweep import run_packet_sweep
+from repro.netsim.traffic import ParetoSizes, PoissonArrivals, RampDemand, TrafficSource
+
+__all__ = [
+    "DEFAULT_CHURN_RATES",
+    "ChurnStats",
+    "ChurnBiasComparison",
+    "run_churn_experiment",
+    "SwitchbackRampOutcome",
+    "run_switchback_ramp_experiment",
+]
+
+#: Churn intensities (flow arrivals per second) swept by default; 0.0 is
+#: the static reference that must reproduce today's result exactly.
+DEFAULT_CHURN_RATES: tuple[float, ...] = (0.0, 2.0, 6.0)
+
+#: Heavy-tailed size distribution of churning flows: Pareto(1.5) with a
+#: 60 kB floor gives a 180 kB mean — mice with the occasional elephant.
+CHURN_SIZES = ParetoSizes(min_bytes=60_000.0, alpha=1.5)
+
+#: Churn sizes for the switchback-ramp scenario: still Pareto, but with
+#: a finite-variance tail (alpha 2.5, ~100 kB mean).  The ramp's point
+#: is the demand *trend*; with infinite-variance sizes a single elephant
+#: flow can dominate one short interval's mean and drown the trend in
+#: sampling noise at lab scale.
+RAMP_SIZES = ParetoSizes(min_bytes=60_000.0, alpha=2.5)
+
+
+def _churn_sources(rate_per_s: float) -> tuple[TrafficSource, ...] | None:
+    if rate_per_s <= 0.0:
+        # No sources at all (not an idle source): the sweep then builds
+        # byte-identical specs to the static experiment, sharing its
+        # cache entries.
+        return None
+    return (
+        TrafficSource(
+            arrivals=PoissonArrivals(rate_per_s),
+            sizes=CHURN_SIZES,
+            label="churn",
+        ),
+    )
+
+
+@dataclass
+class ChurnStats:
+    """Lifecycle summary of the churning flows at one intensity (taken
+    from the 50 %-allocation arm of the sweep)."""
+
+    flows_started: int
+    flows_completed: int
+    mean_fct_s: float | None
+
+
+@dataclass
+class ChurnBiasComparison:
+    """The connection-count sweep at several churn intensities.
+
+    ``figures[rate]`` is the :class:`LabFigure` with churn arriving at
+    ``rate`` flows/s; :meth:`bias` reduces each to how far the naive A/B
+    estimate sits from the true total treatment effect.  ``churn[rate]``
+    summarizes the dynamic flows themselves (counts and mean FCT).
+    """
+
+    figures: dict[float, LabFigure]
+    churn: dict[float, ChurnStats]
+    allocation: float = 0.5
+
+    def rates(self) -> tuple[float, ...]:
+        """Churn intensities in sweep order."""
+        return tuple(self.figures)
+
+    def bias(self, rate: float, metric: str = "throughput_mbps") -> float:
+        """Naive A/B estimate minus the TTE at :attr:`allocation` (per unit)."""
+        figure = self.figures[rate]
+        return figure.ab_estimate(metric, self.allocation) - figure.tte(metric)
+
+    def summary_lines(self) -> list[str]:
+        """Per-intensity figure summaries plus the bias/FCT comparison."""
+        lines: list[str] = []
+        for rate, figure in self.figures.items():
+            lines.append(f"=== churn intensity: {rate:g} flows/s ===")
+            lines.extend(figure.summary_lines())
+        lines.append("")
+        lines.append(
+            f"A/B-vs-TTE bias at {self.allocation:.0%} allocation (throughput, Mb/s per unit):"
+        )
+        for rate in self.figures:
+            lines.append(f"  churn {rate:>5g}/s: {self.bias(rate):+.2f}")
+        lines.append("churning flows at the 50% allocation arm:")
+        for rate, stats in self.churn.items():
+            fct = "-" if stats.mean_fct_s is None else f"{stats.mean_fct_s:.3f}s"
+            lines.append(
+                f"  churn {rate:>5g}/s: {stats.flows_started} started, "
+                f"{stats.flows_completed} completed, mean FCT {fct}"
+            )
+        return lines
+
+
+def run_churn_experiment(
+    churn_rates: Sequence[float] = DEFAULT_CHURN_RATES,
+    treatment_connections: int = 2,
+    control_connections: int = 1,
+    quick: bool = False,
+    jobs: int = 1,
+    cache=None,
+    seed: int = 0,
+) -> ChurnBiasComparison:
+    """The parallel-connections bias as a function of churn intensity.
+
+    Each intensity re-runs the full allocation sweep with a Poisson
+    stream of finite Pareto-sized flows sharing the bottleneck.  The
+    churning flows are unmeasured (like real background traffic); the
+    sweep measures the same long-lived applications as the static
+    experiment, so the bias trajectory across intensities isolates what
+    *churn itself* does to an A/B test.
+
+    Parameters
+    ----------
+    churn_rates:
+        Flow arrival rates (per second) to sweep; include 0.0 to anchor
+        the comparison at today's static result (the zero-churn specs
+        are identical to the static sweep's, cache entries included).
+    treatment_connections, control_connections:
+        Connections opened by treated / control applications (paper: 2 / 1).
+    quick:
+        Shrink the sweep (fewer units, shorter runs) for smoke tests.
+    jobs, cache:
+        Worker processes and optional result cache for the sweep arms.
+    seed:
+        Seed for the churn arrivals and flow sizes (inert at rate 0.0).
+    """
+    if not churn_rates:
+        raise ValueError("at least one churn rate is required")
+    if any(rate < 0 for rate in churn_rates):
+        raise ValueError("churn rates must be non-negative")
+    if len(set(churn_rates)) != len(churn_rates):
+        raise ValueError("churn rates must be distinct")
+    if treatment_connections < 1 or control_connections < 1:
+        raise ValueError("connection counts must be at least 1")
+
+    figures: dict[float, LabFigure] = {}
+    churn_stats: dict[float, ChurnStats] = {}
+    for rate in churn_rates:
+        rate = float(rate)
+        scale = _sweep_scale(quick)
+        n_units = scale.pop("n_units")
+        sweep = run_packet_sweep(
+            n_units,
+            treatment_factory=lambda i: FlowConfig(
+                i, cc="reno", connections=treatment_connections
+            ),
+            control_factory=lambda i: FlowConfig(
+                i, cc="reno", connections=control_connections
+            ),
+            traffic_sources=_churn_sources(rate),
+            seed=seed,
+            jobs=jobs,
+            cache=cache,
+            **scale,
+        )
+        figures[rate] = packet_sweep_to_figure(
+            sweep,
+            name=f"topo_churn[{rate:g}/s]",
+            description=(
+                f"{n_units} applications using {treatment_connections} (treatment) "
+                f"or {control_connections} (control) TCP Reno connections on a "
+                f"shared drop-tail bottleneck with Pareto-sized flows churning "
+                f"at {rate:g}/s"
+            ),
+        )
+        midpoint = sweep.results[n_units // 2]
+        started, completed = midpoint.dynamic_flow_counts()
+        churn_stats[rate] = ChurnStats(
+            flows_started=started,
+            flows_completed=completed,
+            mean_fct_s=midpoint.mean_dynamic_fct_s(),
+        )
+    return ChurnBiasComparison(figures=figures, churn=churn_stats)
+
+
+# -- switchback under a demand ramp --------------------------------------------
+
+
+@dataclass
+class SwitchbackRampOutcome:
+    """A switchback vs an event study under ramping background demand.
+
+    Attributes
+    ----------
+    n_intervals:
+        Number of switchback intervals.
+    treatment_intervals:
+        Intervals randomly assigned to treatment (high allocation).
+    demand_multipliers:
+        Background-churn demand multiplier at each interval *boundary*
+        (``n_intervals + 1`` values): interval ``i`` ramps from
+        ``demand_multipliers[i]`` to ``demand_multipliers[i + 1]``.
+    truth_tte:
+        Ground-truth per-unit TTE: all-treated minus all-control
+        counterfactual runs, averaged over every interval.
+    switchback_estimate:
+        Treated mean over treatment intervals minus control mean over
+        control intervals (the design's comparison).
+    event_study_estimate:
+        Before/after estimate of a launch at the midpoint interval:
+        all-treated mean of later intervals minus all-control mean of
+        earlier ones — confounded by whatever demand did meanwhile.
+    """
+
+    n_intervals: int
+    treatment_intervals: tuple[int, ...]
+    demand_multipliers: tuple[float, ...]
+    truth_tte: float
+    switchback_estimate: float
+    event_study_estimate: float
+
+    def switchback_error(self) -> float:
+        """Absolute error of the switchback estimate vs the truth."""
+        return abs(self.switchback_estimate - self.truth_tte)
+
+    def event_study_error(self) -> float:
+        """Absolute error of the event-study estimate vs the truth."""
+        return abs(self.event_study_estimate - self.truth_tte)
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            "switchback vs event study under a background-demand ramp "
+            f"({self.n_intervals} intervals, churn demand x"
+            f"{self.demand_multipliers[0]:g} -> x{self.demand_multipliers[-1]:g})",
+            f"  treatment intervals (randomized): {list(self.treatment_intervals)}",
+            f"  ground-truth TTE:      {self.truth_tte:+.2f} Mb/s per unit",
+            f"  switchback estimate:   {self.switchback_estimate:+.2f} Mb/s "
+            f"(error {self.switchback_error():.2f})",
+            f"  event-study estimate:  {self.event_study_estimate:+.2f} Mb/s "
+            f"(error {self.event_study_error():.2f})",
+            "  the event study conflates the launch with the demand ramp; "
+            "the randomized switchback does not",
+        ]
+        return lines
+
+
+def _ramp_scale(quick: bool) -> dict[str, object]:
+    if quick:
+        return dict(
+            n_intervals=4,
+            n_units=4,
+            capacity_mbps=24.0,
+            duration_s=5.0,
+            warmup_s=1.5,
+        )
+    return dict(
+        n_intervals=6,
+        n_units=4,
+        capacity_mbps=24.0,
+        duration_s=8.0,
+        warmup_s=2.0,
+    )
+
+
+def run_switchback_ramp_experiment(
+    base_churn_per_s: float = 4.0,
+    ramp_factor: float = 4.0,
+    treatment_connections: int = 2,
+    control_connections: int = 1,
+    quick: bool = False,
+    jobs: int = 1,
+    cache=None,
+    seed: int = 0,
+) -> SwitchbackRampOutcome:
+    """Estimate a TTE by switchback while background churn ramps up.
+
+    Each interval is one packet simulation of a *pure* switchback
+    (treatment intervals treat every unit, control intervals none —
+    100/0 rather than the paper's production 95/5, so the estimate
+    isolates time confounding with no within-interval interference),
+    while unmeasured churn arrives at a rate that ramps from
+    ``base_churn_per_s`` to ``ramp_factor`` times that across the
+    experiment (and linearly *within* each interval, via
+    :class:`~repro.netsim.traffic.demand.RampDemand`, so interval
+    boundaries genuinely straddle demand shifts).  Counterfactual
+    all-treated / all-control runs of every interval provide the ground
+    truth and the midpoint-launch event-study emulation.  Interval
+    randomization is balanced per consecutive pair (a handful of
+    intervals under a monotone ramp cannot afford a 3-1 draw) and the
+    chosen days flow through :class:`SwitchbackDesign` as the paper's
+    Section 5.3 emulation does.
+
+    Parameters
+    ----------
+    base_churn_per_s:
+        Churn arrival rate at the start of the experiment.
+    ramp_factor:
+        Demand multiplier reached by the final interval (>= 0).
+    treatment_connections, control_connections:
+        The connection-count treatment (paper: 2 / 1).
+    quick:
+        Fewer, shorter intervals for smoke tests.
+    jobs, cache:
+        Worker processes and optional result cache; all intervals' arms
+        fan out through the same executor settings.
+    seed:
+        Seeds both the interval randomization (via
+        :class:`SwitchbackDesign`) and the churn arrivals.
+    """
+    if base_churn_per_s <= 0:
+        raise ValueError("base_churn_per_s must be positive")
+    if ramp_factor < 0:
+        raise ValueError("ramp_factor must be non-negative")
+    if treatment_connections < 1 or control_connections < 1:
+        raise ValueError("connection counts must be at least 1")
+
+    scale = _ramp_scale(quick)
+    n_intervals = scale.pop("n_intervals")
+    n_units = scale.pop("n_units")
+    duration_s = scale["duration_s"]
+
+    # Balanced pair-wise randomization: with only a handful of intervals
+    # a plain coin flip per interval frequently lands 3-1 or worse, and
+    # an unbalanced switchback straddling a demand ramp re-imports the
+    # very time confound it exists to remove.  Flipping one interval per
+    # consecutive pair keeps the arms balanced *and* random — then the
+    # paper's design object turns the chosen days into the plan.
+    rng = random.Random(f"switchback-ramp:{seed}")
+    chosen: list[int] = []
+    for start in range(0, n_intervals, 2):
+        pair = list(range(start, min(start + 2, n_intervals)))
+        chosen.append(pair[rng.randrange(len(pair))])
+    design = SwitchbackDesign(
+        treatment_allocation=1.0,
+        control_allocation=0.0,
+        treatment_days=tuple(chosen),
+    )
+    treatment_intervals = design.treatment_days_for(range(n_intervals))
+    treated_set = set(treatment_intervals)
+
+    def multiplier_at(boundary: int) -> float:
+        # Demand at interval boundary ``boundary`` (0 .. n_intervals):
+        # interval i ramps from boundary i to boundary i+1, so the final
+        # interval ends exactly at ``ramp_factor`` — no extrapolation,
+        # and never negative for any ramp_factor >= 0.
+        return 1.0 + (ramp_factor - 1.0) * boundary / n_intervals
+
+    multipliers = tuple(multiplier_at(i) for i in range(n_intervals + 1))
+
+    # One sweep per interval over the two pure allocations the analysis
+    # needs: the all-control and all-treated arms serve as the realized
+    # interval (whichever the design assigned), its counterfactual for
+    # the ground truth, and the event-study emulation — all from the
+    # same cached results.
+    sweeps = []
+    for i in range(n_intervals):
+        demand = RampDemand(
+            start_level=multiplier_at(i),
+            end_level=multiplier_at(i + 1),
+            t0=0.0,
+            t1=duration_s,
+        )
+        source = TrafficSource(
+            arrivals=PoissonArrivals(base_churn_per_s),
+            sizes=RAMP_SIZES,
+            demand=demand,
+            label="ramp-churn",
+        )
+        sweeps.append(
+            run_packet_sweep(
+                n_units,
+                treatment_factory=lambda u: FlowConfig(
+                    u, cc="reno", connections=treatment_connections
+                ),
+                control_factory=lambda u: FlowConfig(
+                    u, cc="reno", connections=control_connections
+                ),
+                allocations=(0, n_units),
+                traffic_sources=(source,),
+                seed=seed * 1009 + i,
+                jobs=jobs,
+                cache=cache,
+                **scale,
+            )
+        )
+
+    switchback_treated = [
+        sweeps[i].results[n_units].group_mean_throughput(True)
+        for i in range(n_intervals)
+        if i in treated_set
+    ]
+    switchback_control = [
+        sweeps[i].results[0].group_mean_throughput(False)
+        for i in range(n_intervals)
+        if i not in treated_set
+    ]
+    switchback_estimate = (
+        sum(switchback_treated) / len(switchback_treated)
+        - sum(switchback_control) / len(switchback_control)
+    )
+
+    truth_per_interval = [
+        sweeps[i].results[n_units].group_mean_throughput(True)
+        - sweeps[i].results[0].group_mean_throughput(False)
+        for i in range(n_intervals)
+    ]
+    truth_tte = sum(truth_per_interval) / n_intervals
+
+    midpoint = n_intervals // 2
+    before = [
+        sweeps[i].results[0].group_mean_throughput(False) for i in range(midpoint)
+    ]
+    after = [
+        sweeps[i].results[n_units].group_mean_throughput(True)
+        for i in range(midpoint, n_intervals)
+    ]
+    event_study_estimate = sum(after) / len(after) - sum(before) / len(before)
+
+    return SwitchbackRampOutcome(
+        n_intervals=n_intervals,
+        treatment_intervals=treatment_intervals,
+        demand_multipliers=multipliers,
+        truth_tte=truth_tte,
+        switchback_estimate=switchback_estimate,
+        event_study_estimate=event_study_estimate,
+    )

@@ -15,6 +15,12 @@ Two simulators back the lab experiments of Section 3:
     queue and simplified Reno, Cubic and BBR senders (optionally paced).
     It reproduces the same sharing behaviour from first principles and is
     used for validation and ablation benchmarks.
+
+``repro.netsim.traffic``
+    The dynamic-traffic subsystem layered on the packet simulator:
+    finite transfers (flow-completion times), arrival processes
+    (Poisson, on/off bursts, traces) with heavy-tailed size samplers,
+    and time-varying demand profiles that modulate churn intensity.
 """
 
 from repro.netsim.fluid import (

@@ -10,9 +10,13 @@ disciplines are pluggable (drop-tail, RED, CoDel, FQ-CoDel — see
 :mod:`repro.netsim.packet.queue`), flows may negotiate ECN (AQMs then
 CE-mark instead of dropping), each flow can carry its own RTT and path,
 paths may include a random-loss segment or a sequence of queues
-(parking-lot chains), and unmeasured cross traffic can share any queue.
+(parking-lot chains, optionally with per-segment capacities), and
+unmeasured cross traffic can share any queue.  Traffic is dynamic when
+asked (:mod:`repro.netsim.traffic`): applications may transfer a finite
+number of bytes and retire with a flow-completion time, and traffic
+sources spawn churning flows at runtime from seeded arrival processes.
 The default remains the paper's testbed: a single drop-tail bottleneck
-with one symmetric RTT.
+with one symmetric RTT and long-lived flows.
 
 The simulator is intentionally compact — it models exactly what the
 lab experiments exercise (window dynamics, ack clocking, queue-discipline

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
 from typing import TYPE_CHECKING, Any
 
 from repro.netsim.packet.engine import EventScheduler
@@ -42,9 +42,11 @@ from repro.netsim.packet.tcp.base import TcpSender
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.netsim.packet.simulation import FlowConfig, PacketSimResult
+    from repro.netsim.traffic.source import TrafficSource
 
 __all__ = [
     "DEFAULT_QUEUE",
+    "DYNAMIC_UNIT_BASE",
     "PathConfig",
     "QueueConfig",
     "Network",
@@ -54,6 +56,11 @@ __all__ = [
 
 #: Name of the bottleneck queue every flow crosses unless its path says otherwise.
 DEFAULT_QUEUE = "bottleneck"
+
+#: Unit-id offset of dynamically spawned flows.  Each dynamic flow is its
+#: own experimental unit (its own FQ-CoDel sub-queue); the offset keeps
+#: those unit ids clear of any measured or cross-traffic application id.
+DYNAMIC_UNIT_BASE = 1_000_000
 
 
 @dataclass(frozen=True)
@@ -135,8 +142,9 @@ SEGMENT_PREFIX = "seg"
 
 def parking_lot_queues(
     n_segments: int,
-    capacity_mbps: float,
+    capacity_mbps: float | None = None,
     *,
+    capacities: Sequence[float] | None = None,
     buffer_bdp: float = 1.0,
     discipline: str = "droptail",
     params: Mapping[str, Any] | None = None,
@@ -147,13 +155,32 @@ def parking_lot_queues(
     Flows cross a contiguous span of segments (:func:`parking_lot_path`);
     flows on overlapping spans contend directly, and spillover propagates
     along the chain between flows that share no segment at all.
+
+    Segment capacities come either from the scalar ``capacity_mbps``
+    (every segment identical, the classic symmetric lot) or from
+    ``capacities`` — one value per segment, so the chain can carry a
+    single binding bottleneck that *migrates* when the allocation of
+    traffic across spans shifts.  Exactly one of the two must be given.
     """
     if n_segments < 2:
         raise ValueError("a parking lot needs at least 2 segments")
+    if (capacity_mbps is None) == (capacities is None):
+        raise ValueError("specify exactly one of capacity_mbps / capacities")
+    if capacities is None:
+        capacities = [float(capacity_mbps)] * n_segments
+    else:
+        capacities = [float(c) for c in capacities]
+        if len(capacities) != n_segments:
+            raise ValueError(
+                f"capacities must list one value per segment: expected "
+                f"{n_segments}, got {len(capacities)}"
+            )
+        if any(c <= 0 for c in capacities):
+            raise ValueError("segment capacities must be positive")
     return tuple(
         QueueConfig(
             name=f"{SEGMENT_PREFIX}{i}",
-            capacity_mbps=capacity_mbps,
+            capacity_mbps=capacities[i],
             buffer_bdp=buffer_bdp,
             discipline=discipline,
             params=dict(params or {}),
@@ -248,6 +275,11 @@ class Network:
         self._flow_configs: list[FlowConfig] = []
         self._cross_flow_ids: set[int] = set()
         self._next_connection = 0
+
+        #: Dynamic traffic: declarative sources and, per source index,
+        #: the senders spawned from it (in spawn order).
+        self._traffic_sources: list[TrafficSource] = []
+        self._dynamic_senders: dict[int, list[TcpSender]] = {}
 
         #: Packets lost on impaired path segments (not queue drops).
         self.random_losses = 0
@@ -359,6 +391,7 @@ class Network:
                 base_rtt_s=rtt_s,
                 paced=config.paced,
                 ecn=config.ecn,
+                transfer_bytes=config.transfer_bytes,
             )
             self._senders[cid] = sender
             self._connection_owner[cid] = config.flow_id
@@ -377,6 +410,82 @@ class Network:
         """
         self.add_flow(config)
         self._cross_flow_ids.add(config.flow_id)
+
+    # -- dynamic traffic -------------------------------------------------------
+
+    def add_traffic_source(self, source: TrafficSource) -> None:
+        """Attach a dynamic traffic source (finite flows churning at runtime).
+
+        The source's arrival process decides *when* flows spawn and its
+        size sampler *how much* each transfers; spawned senders start
+        mid-simulation, complete when their transfer is acknowledged and
+        retire.  Like cross traffic, dynamic flows are excluded from the
+        per-application results, but their lifecycle (spawn/completion
+        counts, flow-completion times, delivered bytes) is reported per
+        source in ``PacketSimResult.traffic``.
+        """
+        labels = {
+            src.label or f"source{i}" for i, src in enumerate(self._traffic_sources)
+        }
+        label = source.label or f"source{len(self._traffic_sources)}"
+        if label in labels:
+            raise ValueError(f"traffic source label {label!r} already attached")
+        self._traffic_sources.append(source)
+
+    def _schedule_traffic(self, duration_s: float) -> None:
+        """Pre-generate every source's arrivals and schedule the spawns.
+
+        Arrival times and transfer sizes are drawn *before* the
+        simulation runs, from an RNG derived deterministically from the
+        network seed and the source index — so the spawn sequence is a
+        pure function of the spec, independent of event interleaving.
+        """
+        for index, source in enumerate(self._traffic_sources):
+            path = source.path if source.path is not None else PathConfig()
+            for name in path.queues:
+                if name not in self._queues:
+                    raise KeyError(
+                        f"traffic source {index} routes through unknown queue "
+                        f"{name!r}; known queues: {sorted(self._queues)}"
+                    )
+            # String seeding hashes with SHA-512 under the hood, so the
+            # derived stream is stable across processes and platforms.
+            rng = random.Random(f"traffic:{self._seed}:{index}")
+            times = source.arrivals.arrival_times(rng, duration_s, source.demand)
+            self._dynamic_senders[index] = []
+            for arrival in times:
+                size = source.sizes.sample(rng)
+                self.scheduler.schedule(
+                    arrival,
+                    lambda i=index, s=size: self._spawn_dynamic_flow(i, s),
+                )
+
+    def _spawn_dynamic_flow(self, source_index: int, size_bytes: float) -> None:
+        """Spawn one finite transfer from a traffic source, starting now."""
+        source = self._traffic_sources[source_index]
+        path = source.path if source.path is not None else PathConfig()
+        rtt_ms = source.rtt_ms if source.rtt_ms is not None else path.rtt_ms
+        rtt_s = (rtt_ms if rtt_ms is not None else self.base_rtt_ms) / 1000.0
+        cid = self._next_connection
+        self._next_connection += 1
+        sender = make_sender(
+            source.cc,
+            cid,
+            self.scheduler,
+            self._ingress,
+            mss_bytes=self.mss_bytes,
+            base_rtt_s=rtt_s,
+            paced=source.paced,
+            ecn=source.ecn,
+            transfer_bytes=size_bytes,
+        )
+        self._senders[cid] = sender
+        self._connection_owner[cid] = DYNAMIC_UNIT_BASE + cid
+        self._routes[cid] = path.queues
+        self._rtt_s[cid] = rtt_s
+        self._loss_rate[cid] = path.loss_rate
+        self._dynamic_senders[source_index].append(sender)
+        sender.start()
 
     # -- packet forwarding -----------------------------------------------------
 
@@ -428,6 +537,7 @@ class Network:
     def run(self, duration_s: float, warmup_s: float) -> PacketSimResult:
         """Run the simulation and assemble per-application results."""
         from repro.netsim.packet.simulation import FlowResult, PacketSimResult
+        from repro.netsim.traffic.source import DynamicTrafficResult
 
         measured = [
             c for c in self._flow_configs if c.flow_id not in self._cross_flow_ids
@@ -450,6 +560,7 @@ class Network:
                 sender.begin_measurement()
 
         self.scheduler.schedule(warmup_s, begin_measurements)
+        self._schedule_traffic(duration_s)
         self.scheduler.run(until=duration_s)
 
         results: list[FlowResult] = []
@@ -462,6 +573,16 @@ class Network:
             throughput = sum(s.goodput_mbps(duration_s) for s in own)
             sent = sum(s.measured_bytes_sent for s in own)
             retx = sum(s.measured_bytes_retransmitted for s in own)
+            completed: bool | None = None
+            fct_s: float | None = None
+            if config.transfer_bytes is not None:
+                # The application's transfer completes when its *last*
+                # connection does; the FCT runs from the first start.
+                completed = all(s.completed for s in own)
+                if completed:
+                    fct_s = max(s.completion_time for s in own) - min(
+                        s.start_time for s in own
+                    )
             results.append(
                 FlowResult(
                     flow_id=config.flow_id,
@@ -471,7 +592,23 @@ class Network:
                     packets_sent=sum(s.packets_sent for s in own),
                     packets_lost=sum(s.packets_lost for s in own),
                     packets_marked=sum(s.packets_marked for s in own),
+                    completed=completed,
+                    fct_s=fct_s,
                 )
+            )
+
+        traffic: dict[str, DynamicTrafficResult] = {}
+        for index, source in enumerate(self._traffic_sources):
+            label = source.label or f"source{index}"
+            senders = self._dynamic_senders.get(index, [])
+            traffic[label] = DynamicTrafficResult(
+                label=label,
+                flows_started=len(senders),
+                flows_completed=sum(1 for s in senders if s.completed),
+                completion_times_s=tuple(
+                    s.completion_time - s.start_time for s in senders if s.completed
+                ),
+                bytes_acked=sum(s.bytes_acked for s in senders),
             )
 
         return PacketSimResult(
@@ -485,4 +622,5 @@ class Network:
             ),
             queue_drops={name: q.packets_dropped for name, q in self._queues.items()},
             queue_marks={name: q.packets_marked for name, q in self._queues.items()},
+            traffic=traffic,
         )

@@ -490,9 +490,17 @@ class FqCoDelQueue(QueueDiscipline):
     When an arrival would overflow the hard ``buffer_bytes`` limit, the
     queue drops from the head of the *fattest* sub-queue (RFC 8290
     §4.1.3) until the arrival fits — so a flow overrunning its share
-    fills the buffer at its own expense, never at its neighbours'.  The
-    only notable simplification vs RFC 8290 is the missing new-flow
-    priority list.
+    fills the buffer at its own expense, never at its neighbours'.
+
+    Per RFC 8290 §4.1, sub-queues live on two lists: a sub-queue created
+    by an arriving packet joins the *new* list, which is served strictly
+    before the *old* list — a freshly started flow's first packets skip
+    ahead of established backlogs.  The priority is bounded to one
+    quantum: as soon as a new sub-queue exhausts its deficit (or drains
+    empty) it moves to the tail of the old list, so a torrent of packets
+    on a "new" flow cannot starve the old flows (the starvation
+    regression test pins this).  An old sub-queue found empty at its
+    service turn is retired.
 
     Parameters
     ----------
@@ -538,8 +546,10 @@ class FqCoDelQueue(QueueDiscipline):
         self._sub_bytes: dict[int, float] = {}
         #: Deficit round-robin credit per active sub-queue key.
         self._deficits: dict[int, float] = {}
-        #: Round-robin order of active sub-queue keys.
-        self._active: deque[int] = deque()
+        #: Sub-queues awaiting their one priority round (RFC 8290 new list).
+        self._new_flows: deque[int] = deque()
+        #: Established sub-queues in round-robin order (RFC 8290 old list).
+        self._old_flows: deque[int] = deque()
         #: CoDel state per sub-queue key (persists across idle periods).
         self._codel: dict[int, _CoDelControl] = {}
 
@@ -573,10 +583,12 @@ class FqCoDelQueue(QueueDiscipline):
         key = self._flow_key(packet)
         sub = self._subqueues.get(key)
         if sub is None:
+            # A sub-queue born from an arrival enters the *new* list: it
+            # gets one deficit round of strict priority over old flows.
             sub = self._subqueues[key] = deque()
             self._sub_bytes[key] = 0.0
             self._deficits[key] = self._quantum
-            self._active.append(key)
+            self._new_flows.append(key)
             if key not in self._codel:
                 self._codel[key] = _CoDelControl(
                     self._target_s, self._interval_s, self._min_backlog_bytes
@@ -585,22 +597,54 @@ class FqCoDelQueue(QueueDiscipline):
         self._sub_bytes[key] += packet.size_bytes
         self._queued_bytes += packet.size_bytes
 
+    def _retire(self, key: int, now: float) -> None:
+        """Drop a drained sub-queue's bookkeeping.
+
+        CoDel state is kept only while it still carries information — an
+        open dropping episode, a pending first-above window, or a recent
+        ``drop_next`` the resume rule would consult.  Cold state is
+        evicted: a returning flow would restart its episode from scratch
+        anyway (``should_drop`` resets ``count`` once ``drop_next`` is
+        more than an interval old), and under flow churn every spawned
+        flow is a brand-new key, so retaining cold state forever would
+        grow the dict by one dead entry per churned flow.
+        """
+        del self._subqueues[key]
+        del self._sub_bytes[key]
+        del self._deficits[key]
+        codel = self._codel[key]
+        if (
+            not codel.dropping
+            and codel.first_above_time == 0.0
+            and now - codel.drop_next >= codel.interval_s
+        ):
+            del self._codel[key]
+
     def _next_packet(self) -> Packet | None:
         now = self._scheduler.now
-        while self._active:
-            key = self._active[0]
+        while self._new_flows or self._old_flows:
+            from_new = bool(self._new_flows)
+            flows = self._new_flows if from_new else self._old_flows
+            key = flows[0]
             sub = self._subqueues[key]
             if not sub:
-                # The sub-queue drained: retire it from the round-robin
-                # (its CoDel state is kept for a possible return).
-                self._active.popleft()
-                del self._subqueues[key]
-                del self._sub_bytes[key]
-                del self._deficits[key]
+                flows.popleft()
+                if from_new:
+                    # An emptied new sub-queue joins the old list instead
+                    # of retiring (RFC 8290 §4.1.2): if its flow keeps
+                    # sending it must queue behind the old flows rather
+                    # than re-enter the priority list every packet.
+                    self._old_flows.append(key)
+                else:
+                    self._retire(key, now)
                 continue
             if self._deficits[key] < sub[0][0].size_bytes:
+                # Deficit exhausted: refill one quantum and demote to the
+                # tail of the old list — a new flow's priority lasts at
+                # most one quantum, which is what prevents starvation.
                 self._deficits[key] += self._quantum
-                self._active.rotate(-1)
+                flows.popleft()
+                self._old_flows.append(key)
                 continue
             packet, arrival = sub.popleft()
             self._sub_bytes[key] -= packet.size_bytes

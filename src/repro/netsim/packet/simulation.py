@@ -20,9 +20,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from collections.abc import Mapping, Sequence
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.netsim.packet.network import Network, PathConfig, QueueConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.netsim.traffic.source import DynamicTrafficResult, TrafficSource
 
 __all__ = ["FlowConfig", "FlowResult", "PacketSimResult", "simulate"]
 
@@ -56,6 +59,12 @@ class FlowConfig:
         Network path of this application's packets (loss segment, queue
         sequence).  ``None`` means the default path through the single
         bottleneck.
+    transfer_bytes:
+        Bytes *each* of the application's connections transfers before
+        completing; ``None`` (default) models unlimited bulk transfers
+        present for the whole simulation.  Finite applications record a
+        flow-completion time (``FlowResult.fct_s``) once every
+        connection has delivered its transfer.
     """
 
     flow_id: int
@@ -66,12 +75,15 @@ class FlowConfig:
     treated: bool = False
     rtt_ms: float | None = None
     path: PathConfig | None = None
+    transfer_bytes: float | None = None
 
     def __post_init__(self) -> None:
         if self.connections < 1:
             raise ValueError("connections must be at least 1")
         if self.rtt_ms is not None and self.rtt_ms <= 0:
             raise ValueError("rtt_ms must be positive")
+        if self.transfer_bytes is not None and self.transfer_bytes < 0:
+            raise ValueError("transfer_bytes must be non-negative")
 
 
 @dataclass
@@ -86,6 +98,14 @@ class FlowResult:
     packets_lost: int
     #: Acked packets that carried a CE mark (0 unless the flow uses ECN).
     packets_marked: int = 0
+    #: Whether a finite application (``FlowConfig.transfer_bytes``)
+    #: delivered every connection's transfer before the simulation ended;
+    #: ``None`` for unlimited applications.
+    completed: bool | None = None
+    #: Flow-completion time of a finite application, in seconds: from its
+    #: first connection's start to its last connection's completion.
+    #: ``None`` while incomplete and for unlimited applications.
+    fct_s: float | None = None
 
 
 @dataclass
@@ -94,6 +114,19 @@ class PacketSimResult:
 
     Cross-traffic applications are excluded from ``flows`` but their
     packets still show up in the queue counters.
+
+    Flow-completion accounting (the dynamic-traffic subsystem):
+
+    * finite *measured* applications (``FlowConfig.transfer_bytes``)
+      report their completion state and flow-completion time on their own
+      :class:`FlowResult` (``completed``/``fct_s``);
+    * *dynamic* flows spawned by traffic sources are unmeasured — like
+      cross traffic they never appear in ``flows`` — but each source's
+      lifecycle lands in ``traffic``: flows started/completed, the
+      per-flow completion times (spawn order) and delivered bytes, see
+      :class:`~repro.netsim.traffic.source.DynamicTrafficResult`.
+      :meth:`mean_dynamic_fct_s` and :meth:`dynamic_flow_counts`
+      aggregate across sources.
     """
 
     flows: list[FlowResult]
@@ -105,6 +138,9 @@ class PacketSimResult:
     queue_drops: dict[str, int] = field(default_factory=dict)
     #: ECN CE marks per named queue.
     queue_marks: dict[str, int] = field(default_factory=dict)
+    #: Per-source lifecycle results of dynamic traffic, keyed by the
+    #: source's label (``"source<i>"`` when unset); empty without sources.
+    traffic: dict[str, DynamicTrafficResult] = field(default_factory=dict)
 
     def flow(self, flow_id: int) -> FlowResult:
         """Result of the application with the given id."""
@@ -135,6 +171,22 @@ class PacketSimResult:
         """Aggregate ECN CE marks across all queues."""
         return sum(self.queue_marks.values())
 
+    def dynamic_flow_counts(self) -> tuple[int, int]:
+        """(started, completed) dynamic flows across all traffic sources."""
+        started = sum(t.flows_started for t in self.traffic.values())
+        completed = sum(t.flows_completed for t in self.traffic.values())
+        return started, completed
+
+    def mean_dynamic_fct_s(self) -> float | None:
+        """Mean flow-completion time across every source's completed
+        dynamic flows, or ``None`` when nothing completed."""
+        fcts = [
+            fct for t in self.traffic.values() for fct in t.completion_times_s
+        ]
+        if not fcts:
+            return None
+        return sum(fcts) / len(fcts)
+
 
 def simulate(
     flows: Sequence[FlowConfig],
@@ -148,6 +200,7 @@ def simulate(
     queue_params: Mapping[str, Any] | None = None,
     extra_queues: Sequence[QueueConfig] | None = None,
     cross_traffic: Sequence[FlowConfig] | None = None,
+    traffic_sources: Sequence[TrafficSource] | None = None,
     seed: int | None = None,
 ) -> PacketSimResult:
     """Run a packet-level simulation of flows sharing a bottleneck.
@@ -190,9 +243,15 @@ def simulate(
     cross_traffic:
         Unmeasured background applications: they compete in the queues
         like any flow but are excluded from the result's ``flows``.
+    traffic_sources:
+        Dynamic traffic: each source spawns finite flows at runtime
+        (arrival process × size sampler, optionally demand-modulated).
+        Spawned flows are unmeasured like cross traffic; their lifecycle
+        is reported per source in the result's ``traffic`` mapping.
     seed:
-        Seed for the random-loss and RED RNGs; inert for the default
-        loss-free drop-tail topology.
+        Seed for the random-loss and RED RNGs, and for every traffic
+        source's arrival/size draws; inert for the default loss-free,
+        churn-free drop-tail topology.
     """
     if not flows:
         raise ValueError("at least one flow is required")
@@ -217,4 +276,6 @@ def simulate(
         network.add_flow(config)
     for config in cross_traffic or ():
         network.add_cross_traffic(config)
+    for source in traffic_sources or ():
+        network.add_traffic_source(source)
     return network.run(duration_s=duration_s, warmup_s=warmup_s)

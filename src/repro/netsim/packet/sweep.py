@@ -91,8 +91,12 @@ def _consumes_seed(
     queue_discipline: str,
     queue_params: Mapping[str, Any] | None,
     extra_queues: Sequence[QueueConfig] | None,
+    traffic_sources: Sequence[Any] | None = None,
 ) -> bool:
     """Whether anything in one sweep arm draws from the seeded RNGs."""
+    if traffic_sources:
+        # Dynamic sources draw arrival times and flow sizes from the seed.
+        return True
     for flow in [*flows, *(cross_traffic or ())]:
         if flow.path is not None and flow.path.loss_rate > 0.0:
             return True
@@ -119,6 +123,7 @@ def run_packet_sweep(
     queue_params: Mapping[str, Any] | None = None,
     extra_queues: Sequence[QueueConfig] | None = None,
     cross_traffic: Sequence[FlowConfig] | None = None,
+    traffic_sources: Sequence[Any] | None = None,
     rtt_ms: Sequence[float] | None = None,
     loss_rate: float = 0.0,
     seed: int | None = None,
@@ -152,6 +157,11 @@ def run_packet_sweep(
         arm; factory-supplied paths may route through them.
     cross_traffic:
         Unmeasured background applications attached to every arm.
+    traffic_sources:
+        Dynamic :class:`~repro.netsim.traffic.source.TrafficSource`\\ s
+        attached to every arm: finite flows spawning and retiring at
+        runtime.  Sources consume the seed (arrival times and flow
+        sizes), so seeded replications genuinely differ.
     rtt_ms:
         Per-unit RTT profile: unit ``i`` gets ``rtt_ms[i % len(rtt_ms)]``
         unless its factory already set an explicit ``rtt_ms``.  ``None``
@@ -196,6 +206,8 @@ def run_packet_sweep(
         extra_params["extra_queues"] = tuple(extra_queues)
     if cross_traffic:
         extra_params["cross_traffic"] = tuple(cross_traffic)
+    if traffic_sources:
+        extra_params["traffic_sources"] = tuple(traffic_sources)
 
     specs: list[ScenarioSpec] = []
     for k in allocations:
@@ -228,7 +240,8 @@ def run_packet_sweep(
         # The seed is inert when no RNG exists to consume it; keep it out
         # of the content key so replications cannot split the cache.
         spec_seed = seed if _consumes_seed(
-            flows, cross_traffic, queue_discipline, queue_params, extra_queues
+            flows, cross_traffic, queue_discipline, queue_params, extra_queues,
+            traffic_sources,
         ) else None
         specs.append(
             ScenarioSpec(

@@ -1,9 +1,14 @@
 """Common sender machinery shared by all congestion-control algorithms.
 
-The sender models a bulk transfer with unlimited data: it always has
-packets to send and is only limited by its congestion window (and, when
-pacing is enabled, its pacing rate).  The surrounding simulation delivers
-two kinds of feedback:
+By default the sender models a bulk transfer with unlimited data: it
+always has packets to send and is only limited by its congestion window
+(and, when pacing is enabled, its pacing rate).  A *finite* transfer
+(``transfer_bytes``) instead sends exactly that much data, completes when
+the last byte is acknowledged — recording its completion time (the
+network reads it when assembling results; the optional ``on_complete``
+hook surfaces the event to interested callers) — and never transmits
+again (stale feedback after completion is ignored).  The surrounding simulation
+delivers two kinds of feedback:
 
 * :meth:`TcpSender.handle_ack` when a packet was delivered (one RTT after
   it left the bottleneck, including any queueing delay it experienced);
@@ -28,6 +33,7 @@ retransmit counters, decoupling the two observables.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Callable
 
 from repro.netsim.packet.engine import EventScheduler
@@ -60,6 +66,11 @@ class TcpSender:
         echoed CE marks shrink the window instead of causing retransmits.
     initial_cwnd:
         Initial congestion window in packets.
+    transfer_bytes:
+        Total bytes this flow transfers before completing; ``None``
+        (default) models an unlimited bulk transfer.  Data is sent in
+        MSS-sized packets, so the transfer is rounded up to whole
+        packets; a zero-byte transfer completes the instant it starts.
     """
 
     #: Pacing-rate multiple of cwnd/RTT used during congestion avoidance by
@@ -77,6 +88,7 @@ class TcpSender:
         paced: bool = False,
         ecn: bool = False,
         initial_cwnd: float = 10.0,
+        transfer_bytes: float | None = None,
     ):
         if mss_bytes <= 0:
             raise ValueError("mss_bytes must be positive")
@@ -84,6 +96,8 @@ class TcpSender:
             raise ValueError("base_rtt_s must be positive")
         if initial_cwnd < 1:
             raise ValueError("initial_cwnd must be at least one packet")
+        if transfer_bytes is not None and transfer_bytes < 0:
+            raise ValueError("transfer_bytes must be non-negative")
         self.flow_id = flow_id
         self.scheduler = scheduler
         self.transmit = transmit
@@ -102,6 +116,24 @@ class TcpSender:
         # Sequence / retransmission bookkeeping.
         self.next_sequence = 0
         self._pending_retransmissions = 0
+
+        # Finite-transfer lifecycle.  ``None`` packet budget = unlimited.
+        self.transfer_bytes = None if transfer_bytes is None else float(transfer_bytes)
+        self._transfer_packets = (
+            None
+            if transfer_bytes is None
+            else int(math.ceil(transfer_bytes / self.mss_bytes))
+        )
+        self._new_packets_sent = 0
+        self.completed = False
+        self.start_time: float | None = None
+        self.completion_time: float | None = None
+        #: Optional caller hook, invoked as ``on_complete(sender)`` the
+        #: moment a finite transfer is fully acknowledged.  The network
+        #: itself reads ``completion_time`` after the run; the hook
+        #: exists for callers that need the completion *event* (tests,
+        #: custom retirement logic).
+        self.on_complete: Callable[[TcpSender], None] | None = None
 
         # Counters (lifetime).
         self.packets_sent = 0
@@ -132,9 +164,26 @@ class TcpSender:
     # -- lifecycle ------------------------------------------------------------
 
     def start(self) -> None:
-        """Begin transmitting (sends the initial window)."""
+        """Begin transmitting (sends the initial window).
+
+        A zero-byte finite transfer completes immediately: there is
+        nothing to send, so its flow-completion time is exactly zero.
+        """
         self._started = True
+        self.start_time = self.scheduler.now
+        if self._transfer_packets == 0:
+            self._complete()
+            return
         self._try_send()
+
+    def _complete(self) -> None:
+        """Mark a finite transfer as fully delivered and retire."""
+        if self.completed:
+            return
+        self.completed = True
+        self.completion_time = self.scheduler.now
+        if self.on_complete is not None:
+            self.on_complete(self)
 
     def begin_measurement(self) -> None:
         """Mark the start of the throughput/retransmission measurement window."""
@@ -214,6 +263,8 @@ class TcpSender:
 
     def handle_ack(self, packet: Packet, rtt_sample: float) -> None:
         """Process an acknowledgment for ``packet``."""
+        if self.completed:
+            return  # stale feedback for an already-finished transfer
         self.packets_acked += 1
         self.bytes_acked += packet.size_bytes
         self.inflight = max(self.inflight - 1, 0)
@@ -222,7 +273,21 @@ class TcpSender:
             # Standard EWMA with alpha = 1/8.
             self.srtt = 0.875 * self.srtt + 0.125 * rtt_sample
         if packet.ce_marked:
+            # Count the mark before any completion exit so the sender's
+            # tally reconciles with the queues' even when the final ack
+            # of a finite transfer carries CE.
             self.packets_marked += 1
+        if (
+            self._transfer_packets is not None
+            and self.packets_acked >= self._transfer_packets
+        ):
+            # Every distinct chunk is delivered exactly once (lost packets
+            # never ack; each loss triggers exactly one retransmission),
+            # so the acked-packet count reaching the budget means the
+            # whole transfer arrived.
+            self._complete()
+            return
+        if packet.ce_marked:
             now = self.scheduler.now
             if now >= self._ecn_reaction_deadline:
                 self._ecn_reaction_deadline = now + self.srtt
@@ -232,6 +297,8 @@ class TcpSender:
 
     def handle_loss(self, packet: Packet) -> None:
         """Process a loss notification for ``packet``."""
+        if self.completed:
+            return  # stale feedback for an already-finished transfer
         self.packets_lost += 1
         self.inflight = max(self.inflight - 1, 0)
         self._pending_retransmissions += 1
@@ -246,6 +313,7 @@ class TcpSender:
             retransmission = True
         else:
             retransmission = False
+            self._new_packets_sent += 1
         packet = Packet(
             flow_id=self.flow_id,
             sequence=self.next_sequence,
@@ -268,11 +336,25 @@ class TcpSender:
         self.transmit(packet)
 
     def _can_send(self) -> bool:
-        return self._started and self.inflight < self.window_limit()
+        return (
+            self._started
+            and not self.completed
+            and self.inflight < self.window_limit()
+            and self._has_data_to_send()
+        )
+
+    def _has_data_to_send(self) -> bool:
+        """Whether un-sent new data or a queued retransmission remains."""
+        if self._pending_retransmissions > 0:
+            return True
+        return (
+            self._transfer_packets is None
+            or self._new_packets_sent < self._transfer_packets
+        )
 
     def _try_send(self) -> None:
         """Send as many packets as the window (and pacing) currently allows."""
-        if not self._started:
+        if not self._started or self.completed:
             return
         if self.paced:
             self._try_send_paced()

@@ -55,6 +55,7 @@ def packet_arm(
     queue_params: Mapping[str, Any] | None = None,
     extra_queues: Sequence[Any] | None = None,
     cross_traffic: Sequence[Any] | None = None,
+    traffic_sources: Sequence[Any] | None = None,
     seed: int | None = None,
 ) -> Any:
     """One packet-level simulation arm (a fixed set of flow configs).
@@ -62,7 +63,8 @@ def packet_arm(
     ``queue_discipline``/``queue_params`` select the bottleneck AQM;
     per-flow RTTs, ECN and loss segments travel inside the flow configs;
     ``extra_queues``/``cross_traffic`` describe multi-bottleneck
-    topologies and unmeasured background load.
+    topologies and unmeasured background load; ``traffic_sources`` add
+    dynamic churn (finite flows spawning and retiring at runtime).
     """
     from repro.netsim.packet.simulation import simulate
 
@@ -78,6 +80,7 @@ def packet_arm(
         queue_params=dict(queue_params) if queue_params else None,
         extra_queues=list(extra_queues) if extra_queues else None,
         cross_traffic=list(cross_traffic) if cross_traffic else None,
+        traffic_sources=list(traffic_sources) if traffic_sources else None,
         seed=seed,
     )
 
@@ -191,6 +194,7 @@ FIGURE_CELL_TASKS: tuple[str, ...] = (
     "topo_aqm",
     "topo_parking",
     "topo_fq",
+    "topo_churn",
 )
 
 
@@ -211,6 +215,10 @@ def figure_cells(
     """
     if figure in ("fig2a", "fig2b", "fig3"):
         return _lab_cells(figure, noise=noise, seed=seed)
+    if figure == "topo_churn":
+        # Unlike the other topology figures, churn consumes the seed:
+        # arrival times and flow sizes are drawn from it.
+        return _churn_cells(quick=quick, seed=seed)
     if figure in ("topo_rtt", "topo_aqm", "topo_parking", "topo_fq"):
         return _topology_cells(figure, quick=quick)
     if figure in FIGURE_CELL_TASKS:
@@ -276,6 +284,23 @@ def _topology_cells(figure: str, quick: bool) -> dict[str, float]:
         cells[f"tte_throughput_mbps:{discipline}"] = fig.tte("throughput_mbps")
         cells[f"ab_throughput_mbps@0.5:{discipline}"] = fig.ab_estimate(
             "throughput_mbps", 0.5
+        )
+    return cells
+
+
+def _churn_cells(quick: bool, seed: int | None) -> dict[str, float]:
+    from repro.experiments.lab_churn import run_churn_experiment
+
+    comparison = run_churn_experiment(quick=quick, seed=0 if seed is None else seed)
+    cells: dict[str, float] = {}
+    for rate in comparison.rates():
+        cells[f"bias_throughput@0.5:churn{rate:g}"] = comparison.bias(rate)
+        stats = comparison.churn[rate]
+        cells[f"churn_flows_completed:churn{rate:g}"] = float(stats.flows_completed)
+        # Always emit the FCT cell so replications agree on the cell set
+        # (0.0 stands for "no completions", which only zero churn hits).
+        cells[f"mean_fct_s:churn{rate:g}"] = (
+            0.0 if stats.mean_fct_s is None else stats.mean_fct_s
         )
     return cells
 

@@ -1,0 +1,139 @@
+"""Tests for the churn experiments (dynamic traffic, switchback-vs-ramp).
+
+These pin the two claims the dynamic-traffic subsystem exists to test:
+
+* the zero-churn arm of the churn sweep IS the static experiment — same
+  specs, same numbers — so the bias-vs-intensity curve is anchored at
+  today's result;
+* under demand that ramps across the experiment, the randomized
+  switchback tracks the ground-truth TTE while the before/after event
+  study conflates the launch with the ramp.
+"""
+
+import pytest
+
+from repro.experiments.lab_churn import (
+    run_churn_experiment,
+    run_switchback_ramp_experiment,
+)
+from repro.experiments.lab_topology import run_aqm_experiment
+
+
+@pytest.fixture(scope="module")
+def churn_comparison():
+    return run_churn_experiment(quick=True, seed=0)
+
+
+@pytest.fixture(scope="module")
+def ramp_outcome():
+    return run_switchback_ramp_experiment(quick=True, seed=0)
+
+
+class TestChurnExperiment:
+    def test_all_requested_intensities_present(self, churn_comparison):
+        assert churn_comparison.rates() == (0.0, 2.0, 6.0)
+        assert set(churn_comparison.churn) == {0.0, 2.0, 6.0}
+
+    def test_zero_churn_matches_static_droptail_result(self, churn_comparison):
+        # The acceptance anchor: no churn sources means byte-identical
+        # specs to the static drop-tail sweep, so every curve matches
+        # today's topo_aqm drop-tail figure exactly.
+        static = run_aqm_experiment(disciplines=("droptail",), quick=True)
+        static_figure = static.figures["droptail"]
+        zero = churn_comparison.figures[0.0]
+        assert zero.rows == static_figure.rows  # every cell, exactly
+        assert zero.tte("throughput_mbps") == static_figure.tte("throughput_mbps")
+        assert churn_comparison.bias(0.0) == static.bias("droptail")
+
+    def test_bias_positive_at_every_intensity(self, churn_comparison):
+        for rate in churn_comparison.rates():
+            assert churn_comparison.bias(rate) > 0.5
+
+    def test_churn_stats_scale_with_intensity(self, churn_comparison):
+        zero = churn_comparison.churn[0.0]
+        low = churn_comparison.churn[2.0]
+        high = churn_comparison.churn[6.0]
+        assert zero.flows_started == 0 and zero.mean_fct_s is None
+        assert 0 < low.flows_started < high.flows_started
+        assert low.mean_fct_s > 0
+        assert high.flows_completed > 0
+
+    def test_summary_lines_cover_bias_and_fct(self, churn_comparison):
+        text = "\n".join(churn_comparison.summary_lines())
+        assert "churn intensity: 0 flows/s" in text
+        assert "churn intensity: 6 flows/s" in text
+        assert "mean FCT" in text
+        assert "bias" in text.lower()
+
+    def test_seeded_run_reproducible(self):
+        a = run_churn_experiment(churn_rates=(3.0,), quick=True, seed=5)
+        b = run_churn_experiment(churn_rates=(3.0,), quick=True, seed=5)
+        assert a.bias(3.0) == b.bias(3.0)
+        assert a.churn[3.0] == b.churn[3.0]
+
+    def test_jobs_do_not_change_results(self):
+        serial = run_churn_experiment(churn_rates=(4.0,), quick=True, seed=2, jobs=1)
+        parallel = run_churn_experiment(churn_rates=(4.0,), quick=True, seed=2, jobs=4)
+        assert serial.bias(4.0) == parallel.bias(4.0)
+        assert serial.churn[4.0] == parallel.churn[4.0]
+        assert serial.figures[4.0].rows == parallel.figures[4.0].rows
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            run_churn_experiment(churn_rates=(), quick=True)
+        with pytest.raises(ValueError):
+            run_churn_experiment(churn_rates=(1.0, -2.0), quick=True)
+        with pytest.raises(ValueError):
+            run_churn_experiment(churn_rates=(1.0, 1.0), quick=True)
+        with pytest.raises(ValueError):
+            run_churn_experiment(treatment_connections=0, quick=True)
+
+
+class TestSwitchbackRamp:
+    def test_interval_assignment_is_balanced(self, ramp_outcome):
+        treated = len(ramp_outcome.treatment_intervals)
+        assert treated == ramp_outcome.n_intervals // 2
+        assert sorted(set(ramp_outcome.treatment_intervals)) == sorted(
+            ramp_outcome.treatment_intervals
+        )
+
+    def test_demand_really_ramps(self, ramp_outcome):
+        m = ramp_outcome.demand_multipliers
+        assert m[0] == 1.0
+        assert m[-1] > 2.0
+        assert list(m) == sorted(m)
+
+    def test_switchback_beats_event_study_under_ramp(self, ramp_outcome):
+        # The headline: randomized intervals absorb the demand trend the
+        # before/after comparison conflates with the launch.
+        assert ramp_outcome.switchback_error() < ramp_outcome.event_study_error()
+
+    def test_event_study_biased_downward_by_rising_demand(self, ramp_outcome):
+        # Rising churn depresses later (all-treated) intervals, so the
+        # event study under-estimates relative to the truth.
+        assert ramp_outcome.event_study_estimate < ramp_outcome.truth_tte
+
+    def test_summary_lines_name_both_designs(self, ramp_outcome):
+        text = "\n".join(ramp_outcome.summary_lines())
+        assert "switchback" in text
+        assert "event-study" in text
+        assert "ground-truth" in text
+
+    def test_seeded_run_reproducible(self, ramp_outcome):
+        again = run_switchback_ramp_experiment(quick=True, seed=0)
+        assert again.switchback_estimate == ramp_outcome.switchback_estimate
+        assert again.event_study_estimate == ramp_outcome.event_study_estimate
+        assert again.truth_tte == ramp_outcome.truth_tte
+
+    def test_jobs_do_not_change_results(self):
+        serial = run_switchback_ramp_experiment(quick=True, seed=1, jobs=1)
+        parallel = run_switchback_ramp_experiment(quick=True, seed=1, jobs=4)
+        assert serial == parallel
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            run_switchback_ramp_experiment(base_churn_per_s=0.0, quick=True)
+        with pytest.raises(ValueError):
+            run_switchback_ramp_experiment(ramp_factor=-1.0, quick=True)
+        with pytest.raises(ValueError):
+            run_switchback_ramp_experiment(control_connections=0, quick=True)

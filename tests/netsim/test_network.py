@@ -357,3 +357,93 @@ class TestAqmEndToEnd:
             )
 
         assert run(1) == run(2)
+
+
+class TestHeterogeneousParkingLot:
+    """Per-segment capacities: the binding bottleneck can migrate."""
+
+    def test_capacities_build_per_segment_queues(self):
+        queues = parking_lot_queues(3, capacities=(10.0, 20.0, 30.0))
+        assert [q.name for q in queues] == ["seg0", "seg1", "seg2"]
+        assert [q.capacity_mbps for q in queues] == [10.0, 20.0, 30.0]
+
+    def test_uniform_capacities_match_scalar_form(self):
+        assert parking_lot_queues(3, 20.0) == parking_lot_queues(
+            3, capacities=(20.0, 20.0, 20.0)
+        )
+
+    def test_exactly_one_capacity_spelling_required(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            parking_lot_queues(2)
+        with pytest.raises(ValueError, match="exactly one"):
+            parking_lot_queues(2, 10.0, capacities=(10.0, 10.0))
+
+    def test_capacity_list_validated(self):
+        with pytest.raises(ValueError, match="one value per segment"):
+            parking_lot_queues(3, capacities=(10.0, 10.0))
+        with pytest.raises(ValueError, match="positive"):
+            parking_lot_queues(2, capacities=(10.0, -1.0))
+
+    def _chain_run(self, capacities):
+        # A flow spanning the whole chain congests exactly one segment:
+        # the narrowest.  Ack-clocked packets arrive at the wider
+        # segments already paced to the binding rate, so no other queue
+        # ever builds a backlog.
+        n = len(capacities)
+        return simulate(
+            [FlowConfig(0, connections=2, path=parking_lot_path(0, n, span=n))],
+            capacity_mbps=50.0,
+            duration_s=6.0,
+            warmup_s=2.0,
+            extra_queues=parking_lot_queues(n, capacities=capacities),
+        )
+
+    def test_binding_bottleneck_follows_the_narrow_segment(self):
+        # Skewing the capacity allocation moves the congestion: the
+        # narrow segment collects every drop, and flipping the skew
+        # migrates the binding bottleneck to the other end of the chain.
+        lopsided_first = self._chain_run((8.0, 30.0, 30.0))
+        lopsided_last = self._chain_run((30.0, 30.0, 8.0))
+        assert lopsided_first.queue_drops["seg0"] > 0
+        assert lopsided_first.queue_drops["seg1"] == 0
+        assert lopsided_first.queue_drops["seg2"] == 0
+        assert lopsided_last.queue_drops["seg2"] > 0
+        assert lopsided_last.queue_drops["seg0"] == 0
+        assert lopsided_last.queue_drops["seg1"] == 0
+        # Throughput is pinned by the 8 Mb/s binding segment either way.
+        assert lopsided_first.flow(0).throughput_mbps < 9.0
+        assert lopsided_last.flow(0).throughput_mbps < 9.0
+
+    def test_binding_bottleneck_migrates_with_traffic_allocation(self):
+        # Same heterogeneous chain, different *traffic* allocation: load
+        # piled onto the roomy segment eventually makes it the binding
+        # one, even though the narrow segment has less capacity.
+        def run(extra_connections_on_seg1):
+            flows = [
+                FlowConfig(0, path=parking_lot_path(0, 2, span=2)),
+                FlowConfig(1, path=parking_lot_path(0, 2, span=1)),
+                FlowConfig(
+                    2,
+                    connections=8 if extra_connections_on_seg1 else 1,
+                    path=parking_lot_path(1, 2, span=1),
+                ),
+            ]
+            return simulate(
+                flows,
+                capacity_mbps=50.0,
+                duration_s=6.0,
+                warmup_s=2.0,
+                extra_queues=parking_lot_queues(2, capacities=(10.0, 25.0)),
+            )
+
+        balanced = run(False)
+        shifted = run(True)
+
+        def drop_share_seg1(result):
+            total = result.queue_drops["seg0"] + result.queue_drops["seg1"]
+            return result.queue_drops["seg1"] / max(total, 1)
+
+        # Lightly loaded, the narrow seg0 binds; piling connections onto
+        # seg1 migrates the drop concentration to the roomy segment.
+        assert drop_share_seg1(balanced) < 0.5
+        assert drop_share_seg1(shifted) > drop_share_seg1(balanced) + 0.2

@@ -407,6 +407,102 @@ class TestFqCoDel:
                          lambda p, t: None, target_delay_s=0.0)
 
 
+class TestFqCoDelNewFlowPriority:
+    """RFC 8290 new/old sub-queue lists.
+
+    A sub-queue born from an arrival is served strictly before the
+    established (old) flows, but only for one deficit round; it then
+    demotes to the tail of the old list.  The starvation regression
+    pins the bound: however much a "new" flow has queued, and however
+    fast fresh flows churn in, the old backlog keeps draining.
+    """
+
+    #: Slow link (one 1000-byte packet per second) with CoDel's drop law
+    #: disabled, so service order shows the list mechanics undisturbed.
+    ORDER_KWARGS = dict(rate_bps=8_000.0, buffer_bytes=1e9, target_delay_s=1e6)
+
+    def test_new_flow_first_packet_skips_old_backlog(self):
+        sched, queue, departed, _ = build("fq_codel", **self.ORDER_KWARGS)
+        for i in range(10):  # old flow's standing backlog
+            queue.enqueue(make_packet(i, flow_id=0))
+        # A fresh flow's single packet arrives mid-drain (the old flow's
+        # sub-queue demoted to the old list at t=2 when its first quantum
+        # ran out) ...
+        sched.schedule(2.5, lambda: queue.enqueue(make_packet(100, flow_id=1)))
+        sched.run(until=1e6)
+        # ... and is served at the very next dequeue, ahead of the seven
+        # old packets still waiting.
+        assert [s for s, _ in departed] == [0, 1, 2, 100, 3, 4, 5, 6, 7, 8, 9]
+
+    def test_new_flow_priority_lasts_one_quantum(self):
+        # The new flow dumps a 10-packet burst; only one quantum's worth
+        # (one 1000-byte packet against the 1500-byte quantum) jumps the
+        # queue, then DRR interleaves both flows fairly.
+        sched, queue, departed, _ = build("fq_codel", **self.ORDER_KWARGS)
+        for i in range(10):
+            queue.enqueue(make_packet(i, flow_id=0))
+
+        def burst():
+            for j in range(100, 110):
+                queue.enqueue(make_packet(j, flow_id=1))
+
+        sched.schedule(2.5, burst)
+        sched.run(until=1e6)
+        order = [s for s, _ in departed]
+        first_new = order.index(100)
+        assert first_new == 3  # the bump ...
+        assert order[first_new + 1] < 100  # ... ends after one quantum
+        # From there on the tail is a fair interleave, never a monopoly.
+        tail = order[first_new:]
+        worst_gap = max(
+            abs(sum(1 for s in tail[:k] if s >= 100) - k / 2) for k in range(2, 15)
+        )
+        assert worst_gap <= 2.0
+
+    def test_churning_new_flows_cannot_starve_old_backlog(self):
+        # Starvation regression, observable exactly under flow churn: a
+        # fresh single-packet flow every 2.5 ms (40% of an 8 Mb/s link,
+        # each spawning a brand-new sub-queue) while an old flow has 400
+        # packets queued.  Every new flow gets its one-quantum priority,
+        # yet the old backlog must keep draining at the residual rate.
+        sched, queue, departed, dropped = build(
+            "fq_codel", rate_bps=8_000_000.0, buffer_bytes=1e9,
+        )
+        for i in range(400):
+            queue.enqueue(make_packet(i, flow_id=0))
+        for j in range(400):
+            sched.schedule(
+                j * 0.0025,
+                lambda j=j: queue.enqueue(make_packet(1000 + j, flow_id=10 + j)),
+            )
+        sched.run(until=1e6)
+        served_old = [t for s, t in departed if s < 400]
+        # Every old packet is accounted for: served, or trimmed by CoDel
+        # working on the old flow's standing backlog (never by the churn).
+        assert len(served_old) + len(dropped) == 400
+        assert all(s < 400 for s, _ in dropped)
+        assert len(served_old) >= 380
+        assert max(served_old) < 0.75  # drained at ~60% of the link
+        # ... while every churning flow's packet still got its priority
+        # bump: low delay despite the 400-packet standing backlog.
+        new_delays = [t - (s - 1000) * 0.0025 for s, t in departed if s >= 1000]
+        assert max(new_delays) < 0.01
+
+    def test_returning_flow_queues_as_old_not_new(self):
+        # A sub-queue that empties moves to the old list; if its flow
+        # keeps sending while still listed there, the next packet must
+        # wait its DRR turn rather than re-enter the priority list.
+        sched, queue, departed, _ = build("fq_codel", **self.ORDER_KWARGS)
+        for i in range(6):
+            queue.enqueue(make_packet(i, flow_id=0))
+        # Flow 1's first packet gets the new-flow bump; its second
+        # arrives while the drained sub-queue idles on the old list.
+        sched.schedule(0.5, lambda: queue.enqueue(make_packet(100, flow_id=1)))
+        sched.schedule(2.2, lambda: queue.enqueue(make_packet(101, flow_id=1)))
+        sched.run(until=1e6)
+        assert [s for s, _ in departed] == [0, 1, 100, 2, 3, 101, 4, 5]
+
+
 class TestEcnMarking:
     """AQMs CE-mark ECN-capable packets instead of dropping them."""
 

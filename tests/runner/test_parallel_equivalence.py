@@ -107,6 +107,37 @@ class TestTopologySweepParallel:
         assert serial == parallel
 
 
+class TestChurnSweepParallel:
+    """Dynamic traffic draws all randomness from the spec seed, so
+    worker fan-out cannot perturb churn results either."""
+
+    def _churn_sweep(self, jobs):
+        from repro.netsim.traffic import ParetoSizes, PoissonArrivals, TrafficSource
+
+        source = TrafficSource(
+            arrivals=PoissonArrivals(4.0),
+            sizes=ParetoSizes(40_000.0, 1.5),
+            label="churn",
+        )
+        return run_packet_sweep(
+            4,
+            treatment_factory=lambda i: FlowConfig(i, cc="reno", connections=2),
+            control_factory=lambda i: FlowConfig(i, cc="reno", connections=1),
+            traffic_sources=(source,),
+            seed=13,
+            jobs=jobs,
+            **PACKET_KWARGS,
+        )
+
+    def test_jobs4_equals_serial(self):
+        serial = self._churn_sweep(jobs=1)
+        parallel = self._churn_sweep(jobs=4)
+        assert sorted(serial.results) == sorted(parallel.results)
+        for k in serial.results:
+            assert serial.results[k] == parallel.results[k]
+            assert serial.results[k].traffic == parallel.results[k].traffic
+
+
 class TestFluidSweepParallel:
     def _sweep(self, jobs):
         return run_lab_sweep(

@@ -90,6 +90,23 @@ class TestCommands:
         assert "queue discipline: codel" in out
         assert "queue discipline: fq_codel" in out
 
+    def test_topo_churn_command_quick(self, capsys):
+        assert main(["topo_churn", "--quick", "--churn-rates", "0,3"]) == 0
+        out = capsys.readouterr().out
+        assert "churn intensity: 0 flows/s" in out
+        assert "churn intensity: 3 flows/s" in out
+        assert "mean FCT" in out
+        # The second section: switchback vs event study under the ramp.
+        assert "switchback" in out
+        assert "event-study" in out
+        assert "ground-truth" in out
+
+    def test_invalid_churn_rates_rejected(self, capsys):
+        for bad in ("abc", "", "1,-2", "2,2"):
+            with pytest.raises(SystemExit):
+                main(["topo_churn", "--quick", "--churn-rates", bad])
+        assert "--churn-rates" in capsys.readouterr().err
+
     def test_topo_parking_command_quick(self, capsys):
         assert main(["topo_parking", "--quick"]) == 0
         out = capsys.readouterr().out
@@ -140,7 +157,7 @@ class TestParallelDeterminism:
         parallel = capsys.readouterr().out
         assert serial == parallel
 
-    @pytest.mark.parametrize("figure", ["topo_fq", "topo_parking"])
+    @pytest.mark.parametrize("figure", ["topo_fq", "topo_parking", "topo_churn"])
     def test_new_topology_figures_same_output_jobs_1_vs_4(self, figure, capsys):
         argv = [figure, "--quick"]
         assert main([*argv, "--jobs", "1"]) == 0
@@ -242,6 +259,21 @@ class TestSweepCommand:
         assert "bias_throughput@0.5:single" in out
         assert "bias_throughput@0.5:parking" in out
         assert "remote_spillover_mbps" in out
+
+    def test_churn_sweep_keeps_seeded_replications(self, capsys):
+        # topo_churn consumes the seed (arrivals, sizes), so the sweep
+        # must NOT collapse it to one deterministic replication.
+        argv = ["sweep", "topo_churn", "--quick", "--replications", "2",
+                "--seed", "3", "--jobs", "2"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 replication(s), seeds 3..4" in out
+        assert "bias_throughput@0.5:churn0" in out
+        assert "mean_fct_s:churn6" in out
+        # The zero-churn cell ignores the seed, so its CI is exactly 0.
+        for line in out.splitlines():
+            if "bias_throughput@0.5:churn0" in line:
+                assert "±0.000" in line
 
     def test_topology_sweep_seed_does_not_split_cache(self, tmp_path, capsys):
         argv = ["sweep", "topo_rtt", "--quick", "--cache",

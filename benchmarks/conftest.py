@@ -6,9 +6,20 @@ session and shared; each benchmark then times the analysis step that
 produces its figure and asserts the qualitative shape the paper reports.
 
 Run with:  pytest benchmarks/ --benchmark-only
+
+Setting ``BENCH_JSON=/path/to/out.json`` additionally exports every
+benchmark test's call duration to a JSON file when the session ends —
+the raw material of the perf trajectory.  CI runs the suite with the
+export enabled, uploads the file as an artifact and fails the build when
+a test regresses more than 3x against the committed repo-root
+``BENCH_baseline.json`` (see ``benchmarks/check_regression.py``).
 """
 
+import json
+import os
+import platform
 import sys
+import time
 from pathlib import Path
 
 import pytest
@@ -40,3 +51,33 @@ def paired_outcome(paired_experiment):
 def run_once(benchmark, fn, *args, **kwargs):
     """Run a benchmark exactly once (the workloads are too large to repeat)."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+# -- timing export (the BENCH_*.json perf trajectory) --------------------------
+
+#: Call durations per test nodeid, filled by the logreport hook.  Only
+#: populated when this conftest is loaded, i.e. for benchmark items.
+_TIMINGS: dict[str, float] = {}
+
+
+def pytest_runtest_logreport(report):
+    """Record every benchmark test's call-phase wall time."""
+    if report.when == "call" and report.passed:
+        _TIMINGS[report.nodeid] = report.duration
+
+
+def pytest_sessionfinish(session):
+    """Export the collected timings when ``BENCH_JSON`` names a file."""
+    out = os.environ.get("BENCH_JSON")
+    if not out or not _TIMINGS:
+        return
+    payload = {
+        "schema": 1,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "timings": dict(sorted(_TIMINGS.items())),
+    }
+    path = Path(out)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")

@@ -22,8 +22,10 @@ def test_fig13_hourly_vs_account_intervals(benchmark, paired_outcome):
         rows.append(
             [
                 metric,
-                f"{100 * hourly.estimate:+.1f}% [{100 * hourly.ci_low:+.1f}, {100 * hourly.ci_high:+.1f}]",
-                f"{100 * account.estimate:+.1f}% [{100 * account.ci_low:+.1f}, {100 * account.ci_high:+.1f}]",
+                f"{100 * hourly.estimate:+.1f}% "
+                f"[{100 * hourly.ci_low:+.1f}, {100 * hourly.ci_high:+.1f}]",
+                f"{100 * account.estimate:+.1f}% "
+                f"[{100 * account.ci_low:+.1f}, {100 * account.ci_high:+.1f}]",
             ]
         )
     print("\n" + format_table(["metric", "hourly aggregation", "account aggregation"], rows))

@@ -35,5 +35,6 @@ def test_fig3_cubic_into_bbr_world(benchmark):
     assert throughput.tte() == pytest.approx(0.0, abs=1e-6)
     print(
         f"\nDeploying Cubic at 10% into a BBR world: "
-        f"{100 * throughput.ate(0.1) / throughput.mu_control(0.1):+.0f}% naive 'improvement', TTE = 0"
+        f"{100 * throughput.ate(0.1) / throughput.mu_control(0.1):+.0f}% "
+        f"naive 'improvement', TTE = 0"
     )

@@ -1,0 +1,58 @@
+"""Wall-time of the packet sweep under DualPI2 vs classic-ECN CoDel.
+
+DualPI2 adds per-dequeue work the other AQMs do not have: the lazy PI2
+catch-up loop, the WRR credit bookkeeping and two mark/drop lotteries.
+Benchmarking the same quick-mode sweep under the full L4S stack (DualPI2
+bottleneck, paced DCTCP senders) next to the classic-ECN CoDel arm keeps
+that overhead visible in the perf trajectory, separately from the
+FQ-CoDel DRR cost tracked by ``test_fq_codel.py``.
+
+Quick-mode sizing matches the topology experiments' quick scale so the
+pair stays cheap enough to ride along in tier-1 runs.
+"""
+
+from _helpers import run_once
+
+from repro.netsim.packet.simulation import FlowConfig
+from repro.netsim.packet.sweep import run_packet_sweep
+
+#: Quick-mode sweep sizing, matching the topology experiments' quick scale.
+QUICK_KWARGS = dict(
+    allocations=(0, 2, 4),
+    capacity_mbps=24.0,
+    duration_s=6.0,
+    warmup_s=2.0,
+)
+
+
+def _sweep(queue_discipline, ecn, paced, seed=None):
+    return run_packet_sweep(
+        4,
+        treatment_factory=lambda i: FlowConfig(
+            i, cc="reno", connections=2, ecn=ecn, paced=paced
+        ),
+        control_factory=lambda i: FlowConfig(
+            i, cc="reno", connections=1, ecn=ecn, paced=paced
+        ),
+        queue_discipline=queue_discipline,
+        seed=seed,
+        **QUICK_KWARGS,
+    )
+
+
+def test_codel_classic_ecn_sweep_quick(benchmark):
+    sweep = run_once(benchmark, _sweep, "codel", "classic", False)
+    assert sorted(sweep.results) == [0, 2, 4]
+    # Classic ECN keeps the connection-count reward fully intact.
+    assert sweep.ab_estimate("throughput_mbps", 0.5) > 1.0
+
+
+def test_dualpi2_l4s_sweep_quick(benchmark):
+    sweep = run_once(benchmark, _sweep, "dualpi2", "l4s", True, seed=0)
+    assert sorted(sweep.results) == [0, 2, 4]
+    # The L4S stack trims but does not collapse the reward: marks are
+    # per-connection signals, so the second connection still pays off.
+    assert sweep.ab_estimate("throughput_mbps", 0.5) > 1.0
+    # Marks, not losses: the L queue never AQM-drops.
+    mixed = sweep.results[2]
+    assert sum(mixed.queue_marks.values()) > 0

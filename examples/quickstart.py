@@ -26,8 +26,12 @@ def main() -> None:
         rows.append(
             [
                 row.n_treated,
-                "-" if row.treatment_throughput_mbps is None else f"{row.treatment_throughput_mbps:.0f}",
-                "-" if row.control_throughput_mbps is None else f"{row.control_throughput_mbps:.0f}",
+                "-"
+                if row.treatment_throughput_mbps is None
+                else f"{row.treatment_throughput_mbps:.0f}",
+                "-"
+                if row.control_throughput_mbps is None
+                else f"{row.control_throughput_mbps:.0f}",
                 "-" if row.treatment_retransmit is None else f"{row.treatment_retransmit:.4f}",
                 "-" if row.control_retransmit is None else f"{row.control_retransmit:.4f}",
             ]

@@ -61,7 +61,8 @@ def main() -> None:
 
     print("A/A calibration (no capping anywhere; any 'effect' is a false positive)")
     rows = []
-    for label, treatment_days in (("switchback split", (0, 2, 4)), ("event-study split", (2, 3, 4))):
+    splits = (("switchback split", (0, 2, 4)), ("event-study split", (2, 3, 4)))
+    for label, treatment_days in splits:
         estimates = run_aa_calibration(
             outcome.aa_table, days, treatment_days=treatment_days, metrics=METRICS
         )

@@ -11,6 +11,7 @@ Usage::
     repro topo_parking --jobs 4      # parking-lot bias + cross-segment spillover
     repro topo_fq --quick            # does per-flow FQ eliminate the bias?
     repro topo_churn --quick         # bias under flow churn + switchback-vs-ramp
+    repro topo_l4s --quick           # does L4S/DCTCP marking shrink the bias?
     repro sweep fig5 --replications 5 --jobs 4   # multi-seed mean ± CI
 
 Every figure command prints the same rows/series the corresponding
@@ -42,6 +43,7 @@ from repro.experiments import (
     run_churn_experiment,
     run_connections_experiment,
     run_fq_experiment,
+    run_l4s_experiment,
     run_pacing_experiment,
     run_parking_lot_experiment,
     run_rtt_experiment,
@@ -65,7 +67,14 @@ LAB_FIGURES = {
 PAIRED_FIGURES = ("baseline", "fig5", "fig7", "fig8", "fig9", "fig10")
 
 #: Beyond-the-paper topology figures on the packet-level simulator.
-TOPOLOGY_FIGURES = ("topo_rtt", "topo_aqm", "topo_parking", "topo_fq", "topo_churn")
+TOPOLOGY_FIGURES = (
+    "topo_rtt",
+    "topo_aqm",
+    "topo_parking",
+    "topo_fq",
+    "topo_churn",
+    "topo_l4s",
+)
 
 #: Topology figures that consume the seed (dynamic-traffic randomness);
 #: the rest are deterministic and collapse to one sweep replication.
@@ -123,6 +132,8 @@ def _print_topology_figure(
     name: str, args: argparse.Namespace, parser: argparse.ArgumentParser
 ) -> None:
     if name == "topo_churn":
+        if not 0.5 < args.traffic_split <= 1.0:
+            parser.error("--traffic-split must be in (0.5, 1.0]")
         cache = _make_cache(args)
         comparison = run_churn_experiment(
             churn_rates=_parse_churn_rates(args.churn_rates, parser),
@@ -134,12 +145,21 @@ def _print_topology_figure(
         print("\n".join(comparison.summary_lines()))
         print()
         ramp = run_switchback_ramp_experiment(
+            traffic_split=args.traffic_split,
             quick=args.quick,
             jobs=args.jobs,
             cache=cache,
             seed=args.seed,
         )
         print("\n".join(ramp.summary_lines()))
+        return
+    if name == "topo_l4s":
+        comparison = run_l4s_experiment(
+            quick=args.quick,
+            jobs=args.jobs,
+            cache=_make_cache(args),
+        )
+        print("\n".join(comparison.summary_lines()))
         return
     if name == "topo_rtt":
         figure = run_rtt_experiment(
@@ -410,6 +430,17 @@ def build_parser() -> argparse.ArgumentParser:
             "churn intensities compared by topo_churn, comma-separated flow "
             "arrivals per second (default: 0,2,6; include 0 for the static "
             "reference)"
+        ),
+    )
+    parser.add_argument(
+        "--traffic-split",
+        type=float,
+        default=1.0,
+        help=(
+            "within-interval allocation of topo_churn's switchback-ramp "
+            "scenario, in (0.5, 1]: 1 (default) runs pure 100/0 intervals, "
+            "0.95 the production 95/5 variant (scales the unit count up so "
+            "the 5%% arm keeps a unit — markedly slower)"
         ),
     )
     parser.add_argument(

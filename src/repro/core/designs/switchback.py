@@ -84,7 +84,9 @@ class SwitchbackDesign(ExperimentDesign):
         if self._explicit_treatment_days is not None:
             unknown = set(self._explicit_treatment_days) - set(days)
             if unknown:
-                raise ValueError(f"explicit treatment days {sorted(unknown)} not in experiment days")
+                raise ValueError(
+                    f"explicit treatment days {sorted(unknown)} not in experiment days"
+                )
             return self._explicit_treatment_days
         intervals = [
             days[i : i + self.interval_days]

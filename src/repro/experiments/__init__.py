@@ -17,6 +17,10 @@ substrate and returns the rows/series behind the paper's figures:
 * :mod:`repro.experiments.lab_churn` — dynamic-traffic scenarios: the
   A/B bias as a function of short-flow churn intensity, and a
   switchback-vs-event-study comparison under a ramping demand profile.
+* :mod:`repro.experiments.lab_l4s` — the L4S lab: the connection-count
+  bias under drop-tail vs classic-ECN CoDel vs the DualPI2/DCTCP L4S
+  stack vs FQ-CoDel (signal-based vs scheduling-based sharing), plus a
+  classic/L4S coexistence arm on one DualPI2 bottleneck.
 * :mod:`repro.experiments.baseline_validation` — the Section 4.1 baseline
   link-similarity table.
 * :mod:`repro.experiments.paired_link` — the Section 4 bitrate-capping
@@ -49,6 +53,10 @@ from repro.experiments.lab_churn import (
     run_churn_experiment,
     run_switchback_ramp_experiment,
 )
+from repro.experiments.lab_l4s import (
+    L4sBiasComparison,
+    run_l4s_experiment,
+)
 from repro.experiments.paired_link import PairedLinkExperiment, PairedLinkOutcome
 from repro.experiments.baseline_validation import compare_links_at_baseline
 from repro.experiments.alternate_designs import (
@@ -80,6 +88,8 @@ __all__ = [
     "SwitchbackRampOutcome",
     "run_churn_experiment",
     "run_switchback_ramp_experiment",
+    "L4sBiasComparison",
+    "run_l4s_experiment",
     "PairedLinkExperiment",
     "PairedLinkOutcome",
     "compare_links_at_baseline",

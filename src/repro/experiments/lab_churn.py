@@ -35,6 +35,7 @@ worker count.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 from collections.abc import Sequence
@@ -89,11 +90,21 @@ def _churn_sources(rate_per_s: float) -> tuple[TrafficSource, ...] | None:
 @dataclass
 class ChurnStats:
     """Lifecycle summary of the churning flows at one intensity (taken
-    from the 50 %-allocation arm of the sweep)."""
+    from the 50 %-allocation arm of the sweep).
+
+    Beyond the mean, the FCT distribution's p50/p95/p99 are reported:
+    with heavy-tailed sizes the mean is dominated by a few elephants
+    while the percentiles expose what churn does to the typical and the
+    tail latency — the ROADMAP's "FCT percentiles as figure cells"
+    follow-up.  All are ``None`` when nothing completed (zero churn).
+    """
 
     flows_started: int
     flows_completed: int
     mean_fct_s: float | None
+    p50_fct_s: float | None = None
+    p95_fct_s: float | None = None
+    p99_fct_s: float | None = None
 
 
 @dataclass
@@ -134,9 +145,15 @@ class ChurnBiasComparison:
         lines.append("churning flows at the 50% allocation arm:")
         for rate, stats in self.churn.items():
             fct = "-" if stats.mean_fct_s is None else f"{stats.mean_fct_s:.3f}s"
+            tail = "-"
+            if stats.p50_fct_s is not None:
+                tail = (
+                    f"p50 {stats.p50_fct_s:.3f}s / p95 {stats.p95_fct_s:.3f}s "
+                    f"/ p99 {stats.p99_fct_s:.3f}s"
+                )
             lines.append(
                 f"  churn {rate:>5g}/s: {stats.flows_started} started, "
-                f"{stats.flows_completed} completed, mean FCT {fct}"
+                f"{stats.flows_completed} completed, mean FCT {fct}, {tail}"
             )
         return lines
 
@@ -219,6 +236,9 @@ def run_churn_experiment(
             flows_started=started,
             flows_completed=completed,
             mean_fct_s=midpoint.mean_dynamic_fct_s(),
+            p50_fct_s=midpoint.dynamic_fct_percentile(50.0),
+            p95_fct_s=midpoint.dynamic_fct_percentile(95.0),
+            p99_fct_s=midpoint.dynamic_fct_percentile(99.0),
         )
     return ChurnBiasComparison(figures=figures, churn=churn_stats)
 
@@ -250,6 +270,20 @@ class SwitchbackRampOutcome:
         Before/after estimate of a launch at the midpoint interval:
         all-treated mean of later intervals minus all-control mean of
         earlier ones — confounded by whatever demand did meanwhile.
+    traffic_split:
+        Allocation inside treatment intervals (control intervals run the
+        mirror ``1 - traffic_split``).  1.0 is the pure switchback; 0.95
+        is the paper's production split, where each interval mixes both
+        arms and within-interval interference re-enters.
+    within_interval_ab_estimate:
+        Mean over all intervals of the *within-interval* treated-minus-
+        control difference at the realized allocation — the naive
+        estimator a production 95/5 deployment invites.  ``None`` for
+        the pure switchback (pure intervals have no opposite arm).
+    allocation_units:
+        The realized ``(control-interval, treatment-interval)`` treated
+        unit counts of a mixed split (always a strict minority/majority
+        pair); ``None`` for the pure switchback.
     """
 
     n_intervals: int
@@ -258,6 +292,9 @@ class SwitchbackRampOutcome:
     truth_tte: float
     switchback_estimate: float
     event_study_estimate: float
+    traffic_split: float = 1.0
+    within_interval_ab_estimate: float | None = None
+    allocation_units: tuple[int, int] | None = None
 
     def switchback_error(self) -> float:
         """Absolute error of the switchback estimate vs the truth."""
@@ -267,10 +304,21 @@ class SwitchbackRampOutcome:
         """Absolute error of the event-study estimate vs the truth."""
         return abs(self.event_study_estimate - self.truth_tte)
 
+    def within_interval_error(self) -> float | None:
+        """Absolute error of the within-interval A/B estimate vs the truth."""
+        if self.within_interval_ab_estimate is None:
+            return None
+        return abs(self.within_interval_ab_estimate - self.truth_tte)
+
     def summary_lines(self) -> list[str]:
+        split = (
+            "pure 100/0 intervals"
+            if self.traffic_split >= 1.0
+            else f"{self.traffic_split:.0%}/{1.0 - self.traffic_split:.0%} intervals"
+        )
         lines = [
             "switchback vs event study under a background-demand ramp "
-            f"({self.n_intervals} intervals, churn demand x"
+            f"({self.n_intervals} intervals, {split}, churn demand x"
             f"{self.demand_multipliers[0]:g} -> x{self.demand_multipliers[-1]:g})",
             f"  treatment intervals (randomized): {list(self.treatment_intervals)}",
             f"  ground-truth TTE:      {self.truth_tte:+.2f} Mb/s per unit",
@@ -278,9 +326,18 @@ class SwitchbackRampOutcome:
             f"(error {self.switchback_error():.2f})",
             f"  event-study estimate:  {self.event_study_estimate:+.2f} Mb/s "
             f"(error {self.event_study_error():.2f})",
-            "  the event study conflates the launch with the demand ramp; "
-            "the randomized switchback does not",
         ]
+        if self.within_interval_ab_estimate is not None:
+            lines.append(
+                f"  within-interval A/B:   {self.within_interval_ab_estimate:+.2f} "
+                f"Mb/s (error {self.within_interval_error():.2f}) — the "
+                "production-split estimator, biased by within-interval "
+                "interference"
+            )
+        lines.append(
+            "  the event study conflates the launch with the demand ramp; "
+            "the randomized switchback does not"
+        )
         return lines
 
 
@@ -307,6 +364,7 @@ def run_switchback_ramp_experiment(
     ramp_factor: float = 4.0,
     treatment_connections: int = 2,
     control_connections: int = 1,
+    traffic_split: float = 1.0,
     quick: bool = False,
     jobs: int = 1,
     cache=None,
@@ -314,13 +372,18 @@ def run_switchback_ramp_experiment(
 ) -> SwitchbackRampOutcome:
     """Estimate a TTE by switchback while background churn ramps up.
 
-    Each interval is one packet simulation of a *pure* switchback
-    (treatment intervals treat every unit, control intervals none —
-    100/0 rather than the paper's production 95/5, so the estimate
-    isolates time confounding with no within-interval interference),
-    while unmeasured churn arrives at a rate that ramps from
-    ``base_churn_per_s`` to ``ramp_factor`` times that across the
-    experiment (and linearly *within* each interval, via
+    Each interval is one packet simulation of a switchback allocation —
+    by default *pure* (treatment intervals treat every unit, control
+    intervals none — 100/0, so the estimate isolates time confounding
+    with no within-interval interference); a ``traffic_split`` below 1
+    instead runs the paper's production-style mixed intervals
+    (``traffic_split`` treated during treatment intervals, the mirror
+    ``1 - traffic_split`` during control intervals), which re-admits
+    within-interval interference and additionally reports the naive
+    within-interval A/B estimate such a deployment invites.  Unmeasured
+    churn arrives at a rate that ramps from ``base_churn_per_s`` to
+    ``ramp_factor`` times that across the experiment (and linearly
+    *within* each interval, via
     :class:`~repro.netsim.traffic.demand.RampDemand`, so interval
     boundaries genuinely straddle demand shifts).  Counterfactual
     all-treated / all-control runs of every interval provide the ground
@@ -338,6 +401,12 @@ def run_switchback_ramp_experiment(
         Demand multiplier reached by the final interval (>= 0).
     treatment_connections, control_connections:
         The connection-count treatment (paper: 2 / 1).
+    traffic_split:
+        Within-interval allocation, in (0.5, 1.0].  1.0 (default) keeps
+        the pure switchback; e.g. 0.95 runs the production 95/5 variant.
+        The unit count is scaled up if needed so the minority arm keeps
+        at least one unit (0.95 needs 20 units), which makes production
+        splits markedly more expensive than the pure default.
     quick:
         Fewer, shorter intervals for smoke tests.
     jobs, cache:
@@ -353,11 +422,31 @@ def run_switchback_ramp_experiment(
         raise ValueError("ramp_factor must be non-negative")
     if treatment_connections < 1 or control_connections < 1:
         raise ValueError("connection counts must be at least 1")
+    if not 0.5 < traffic_split <= 1.0:
+        raise ValueError("traffic_split must be in (0.5, 1.0]")
 
     scale = _ramp_scale(quick)
     n_intervals = scale.pop("n_intervals")
     n_units = scale.pop("n_units")
     duration_s = scale["duration_s"]
+
+    if traffic_split < 1.0:
+        # The minority arm needs at least one unit; scale the unit count
+        # up until round(n * split) stays interior.  The lower clamp is a
+        # strict majority, not 1: banker's rounding of e.g. 0.6 * 4 would
+        # otherwise land on exactly n/2 and silently degenerate the split
+        # into identical 50/50 treatment and control intervals.
+        n_units = max(n_units, math.ceil(1.0 / (1.0 - traffic_split)))
+        k_hi = min(
+            max(round(n_units * traffic_split), n_units // 2 + 1), n_units - 1
+        )
+        k_lo = n_units - k_hi
+        # The realized mixed arms plus the pure counterfactuals (ground
+        # truth and event study always compare the pure allocations).
+        allocations = tuple(sorted({0, k_lo, k_hi, n_units}))
+    else:
+        k_hi, k_lo = n_units, 0
+        allocations = (0, n_units)
 
     # Balanced pair-wise randomization: with only a handful of intervals
     # a plain coin flip per interval frequently lands 3-1 or worse, and
@@ -415,7 +504,7 @@ def run_switchback_ramp_experiment(
                 control_factory=lambda u: FlowConfig(
                     u, cc="reno", connections=control_connections
                 ),
-                allocations=(0, n_units),
+                allocations=allocations,
                 traffic_sources=(source,),
                 seed=seed * 1009 + i,
                 jobs=jobs,
@@ -424,13 +513,16 @@ def run_switchback_ramp_experiment(
             )
         )
 
+    # The design's comparison: the treated arm of treatment intervals vs
+    # the control arm of control intervals — at the realized (possibly
+    # mixed) allocations.
     switchback_treated = [
-        sweeps[i].results[n_units].group_mean_throughput(True)
+        sweeps[i].results[k_hi].group_mean_throughput(True)
         for i in range(n_intervals)
         if i in treated_set
     ]
     switchback_control = [
-        sweeps[i].results[0].group_mean_throughput(False)
+        sweeps[i].results[k_lo].group_mean_throughput(False)
         for i in range(n_intervals)
         if i not in treated_set
     ]
@@ -438,6 +530,20 @@ def run_switchback_ramp_experiment(
         sum(switchback_treated) / len(switchback_treated)
         - sum(switchback_control) / len(switchback_control)
     )
+
+    within_interval: float | None = None
+    if traffic_split < 1.0:
+        # The naive production estimator: treated minus control *within*
+        # each realized mixed interval, averaged across intervals.
+        per_interval = []
+        for i in range(n_intervals):
+            k = k_hi if i in treated_set else k_lo
+            result = sweeps[i].results[k]
+            per_interval.append(
+                result.group_mean_throughput(True)
+                - result.group_mean_throughput(False)
+            )
+        within_interval = sum(per_interval) / n_intervals
 
     truth_per_interval = [
         sweeps[i].results[n_units].group_mean_throughput(True)
@@ -463,4 +569,7 @@ def run_switchback_ramp_experiment(
         truth_tte=truth_tte,
         switchback_estimate=switchback_estimate,
         event_study_estimate=event_study_estimate,
+        traffic_split=traffic_split,
+        within_interval_ab_estimate=within_interval,
+        allocation_units=None if traffic_split >= 1.0 else (k_lo, k_hi),
     )

@@ -87,8 +87,10 @@ class LabFigure:
         )
         lines.append(header)
         for row in self.rows:
-            t_thr = "-" if row.treatment_throughput_mbps is None else f"{row.treatment_throughput_mbps:.0f}"
-            c_thr = "-" if row.control_throughput_mbps is None else f"{row.control_throughput_mbps:.0f}"
+            t = row.treatment_throughput_mbps
+            c = row.control_throughput_mbps
+            t_thr = "-" if t is None else f"{t:.0f}"
+            c_thr = "-" if c is None else f"{c:.0f}"
             t_rtx = "-" if row.treatment_retransmit is None else f"{row.treatment_retransmit:.4f}"
             c_rtx = "-" if row.control_retransmit is None else f"{row.control_retransmit:.4f}"
             lines.append(

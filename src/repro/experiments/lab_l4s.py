@@ -1,0 +1,208 @@
+"""L4S experiments: does signal-based sharing collapse the A/B bias?
+
+The repo has confirmed the paper's scheduling-based prediction: per-unit
+FQ-CoDel eliminates the connection-count A/B bias (PR 3).  L4S poses the
+complementary falsifiable question for *signal-based* sharing: a
+dual-queue coupled AQM (:class:`~repro.netsim.packet.queue.DualPI2Queue`,
+RFC 9332) marks L4S traffic at a shallow sojourn threshold and the
+DCTCP/Prague sender responds with a cut proportional to the marked
+fraction (``FlowConfig(ecn="l4s")``) — fine-grained signalling and a
+smooth response instead of per-flow scheduling.  Does that collapse the
+bias the way FQ did?
+
+:func:`run_l4s_experiment` answers it by running the paper's Figure 2a
+treatment (opening a second TCP connection) under four arms:
+
+* ``droptail`` — the paper's baseline: loss-based Reno on a drop-tail
+  bottleneck;
+* ``codel-classic`` — classic RFC 3168 ECN on CoDel: marks instead of
+  drops, one window-halving per RTT;
+* ``dualpi2-l4s`` — the full L4S stack: DualPI2 bottleneck, paced
+  senders (Prague mandates pacing), DCTCP fraction-based response;
+* ``fq_codel`` — the scheduling-based reference that eliminates the
+  bias.
+
+The measured answer: **no** — shallow marking with a proportional
+response trims the bias slightly below the classic-ECN arm's (the smooth
+response tracks the fair share without the sawtooth overshoot that
+favours multi-connection units), but per-connection fairness is baked
+into any signal-based mechanism: every connection sees the same marks,
+so a unit opening a second connection still buys close to a second
+share.  Only scheduling that pins *units* to queues (FQ) removes the
+incentive.  A coexistence arm (classic and L4S units mixed on one
+DualPI2 bottleneck) additionally reports the classic-vs-L4S throughput
+ratio the coupling law is designed to keep near one.
+
+Everything runs through the
+:class:`~repro.runner.executor.ParallelExecutor` (``jobs``/``cache``),
+so results are deterministic for a fixed seed and bit-identical for any
+worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.lab_common import LabFigure, packet_sweep_to_figure
+from repro.experiments.lab_topology import _sweep_scale
+from repro.netsim.packet.queue import QUEUE_DISCIPLINES
+from repro.netsim.packet.simulation import FlowConfig
+from repro.netsim.packet.sweep import run_packet_sweep
+
+__all__ = ["L4S_ARMS", "L4sBiasComparison", "run_l4s_experiment"]
+
+#: The four arms of the L4S lab: (arm name, queue discipline, the
+#: ``FlowConfig.ecn`` mode of every unit, whether units pace).  The L4S
+#: arm paces because TCP Prague mandates pacing; the others keep the
+#: paper's unpaced default so each arm is its stack's natural form.
+L4S_ARMS: tuple[tuple[str, str, bool | str, bool], ...] = (
+    ("droptail", "droptail", False, False),
+    ("codel-classic", "codel", "classic", False),
+    ("dualpi2-l4s", "dualpi2", "l4s", True),
+    ("fq_codel", "fq_codel", False, False),
+)
+
+
+@dataclass
+class L4sBiasComparison:
+    """The connection-count sweep under the four L4S-lab arms.
+
+    ``figures[arm]`` is the :class:`LabFigure` obtained under that arm;
+    :meth:`bias` reduces each to how far the naive A/B estimate sits
+    from the true total treatment effect.  The coexistence fields hold
+    the mixed classic+L4S run on the DualPI2 bottleneck: mean per-unit
+    throughput of each camp, whose ratio the RFC 9332 coupling law is
+    designed to keep near one.
+    """
+
+    figures: dict[str, LabFigure]
+    coexistence_l4s_mbps: float
+    coexistence_classic_mbps: float
+    allocation: float = 0.5
+
+    def arms(self) -> tuple[str, ...]:
+        """Arm names in sweep order."""
+        return tuple(self.figures)
+
+    def bias(self, arm: str, metric: str = "throughput_mbps") -> float:
+        """Naive A/B estimate minus the TTE at :attr:`allocation` (per unit)."""
+        figure = self.figures[arm]
+        return figure.ab_estimate(metric, self.allocation) - figure.tte(metric)
+
+    @property
+    def coexistence_ratio(self) -> float:
+        """Mean L4S-unit throughput over mean classic-unit throughput."""
+        return self.coexistence_l4s_mbps / self.coexistence_classic_mbps
+
+    def summary_lines(self) -> list[str]:
+        """Per-arm figure summaries plus the bias and coexistence report."""
+        lines: list[str] = []
+        for arm, figure in self.figures.items():
+            lines.append(f"=== arm: {arm} ===")
+            lines.extend(figure.summary_lines())
+        lines.append("")
+        lines.append(
+            f"A/B-vs-TTE bias at {self.allocation:.0%} allocation "
+            f"(throughput, Mb/s per unit):"
+        )
+        for arm in self.figures:
+            lines.append(f"  {arm:>14}: {self.bias(arm):+.2f}")
+        lines.append(
+            "classic/L4S coexistence on one DualPI2 bottleneck "
+            "(mean per-unit throughput):"
+        )
+        lines.append(
+            f"  l4s {self.coexistence_l4s_mbps:.2f} Mb/s vs classic "
+            f"{self.coexistence_classic_mbps:.2f} Mb/s "
+            f"(ratio {self.coexistence_ratio:.2f})"
+        )
+        return lines
+
+
+def run_l4s_experiment(
+    treatment_connections: int = 2,
+    control_connections: int = 1,
+    quick: bool = False,
+    jobs: int = 1,
+    cache=None,
+    seed: int = 0,
+) -> L4sBiasComparison:
+    """The parallel-connections bias under the four L4S-lab arms.
+
+    Each arm re-runs the full allocation sweep with its own bottleneck
+    discipline and sender stack (see :data:`L4S_ARMS`); a fifth run
+    mixes classic-ECN and L4S units half/half on one DualPI2 bottleneck
+    at the 50 % allocation and reports their throughput ratio — the
+    coexistence question RFC 9332's coupling law answers.
+
+    Parameters
+    ----------
+    treatment_connections, control_connections:
+        Connections opened by treated / control applications (paper: 2 / 1).
+    quick:
+        Shrink the sweep (fewer units, shorter runs) for smoke tests.
+    jobs, cache:
+        Worker processes and optional result cache; arms of *all*
+        disciplines fan out over the same executor settings.
+    seed:
+        Seed of the DualPI2 drop/mark lotteries (inert for the
+        deterministic drop-tail/CoDel/FQ-CoDel arms, mirroring the
+        inert-knob rule).
+    """
+    if treatment_connections < 1 or control_connections < 1:
+        raise ValueError("connection counts must be at least 1")
+
+    figures: dict[str, LabFigure] = {}
+    for arm, discipline, ecn, paced in L4S_ARMS:
+        scale = _sweep_scale(quick)
+        n_units = scale.pop("n_units")
+        sweep = run_packet_sweep(
+            n_units,
+            treatment_factory=lambda i, e=ecn, p=paced: FlowConfig(
+                i, cc="reno", connections=treatment_connections, ecn=e, paced=p
+            ),
+            control_factory=lambda i, e=ecn, p=paced: FlowConfig(
+                i, cc="reno", connections=control_connections, ecn=e, paced=p
+            ),
+            queue_discipline=discipline,
+            seed=seed if QUEUE_DISCIPLINES[discipline].uses_seed else None,
+            jobs=jobs,
+            cache=cache,
+            **scale,
+        )
+        ecn_label = "no ECN" if ecn is False else f"ecn={ecn}"
+        figures[arm] = packet_sweep_to_figure(
+            sweep,
+            name=f"topo_l4s[{arm}]",
+            description=(
+                f"{n_units} applications using {treatment_connections} "
+                f"(treatment) or {control_connections} (control) TCP Reno "
+                f"connections ({ecn_label}{', paced' if paced else ''}) on a "
+                f"shared {discipline} bottleneck"
+            ),
+        )
+
+    # Coexistence: half the units classic ECN, half L4S, one DualPI2
+    # bottleneck, one connection each — the sweep machinery's 50 %
+    # "allocation" doubles as the classic/L4S split, reusing its
+    # executor fan-out and cache keys.
+    scale = _sweep_scale(quick)
+    n_units = scale.pop("n_units")
+    half = n_units // 2
+    scale["allocations"] = (half,)  # one mixed run, not a sweep
+    coexistence = run_packet_sweep(
+        n_units,
+        treatment_factory=lambda i: FlowConfig(i, cc="reno", ecn="l4s", paced=True),
+        control_factory=lambda i: FlowConfig(i, cc="reno", ecn="classic"),
+        queue_discipline="dualpi2",
+        seed=seed,
+        jobs=jobs,
+        cache=cache,
+        **scale,
+    )
+    mixed = coexistence.results[half]
+    return L4sBiasComparison(
+        figures=figures,
+        coexistence_l4s_mbps=mixed.group_mean_throughput(True),
+        coexistence_classic_mbps=mixed.group_mean_throughput(False),
+    )

@@ -146,7 +146,9 @@ class PairedLinkOutcome:
             link: {h: v / largest for h, v in hours.items()} for link, hours in raw.items()
         }
 
-    def figure6_series(self, saturday_day: int | None = None) -> dict[str, dict[int, dict[int, float]]]:
+    def figure6_series(
+        self, saturday_day: int | None = None
+    ) -> dict[str, dict[int, dict[int, float]]]:
         """Baseline vs experiment Saturday throughput time series (Figure 6)."""
         if saturday_day is None:
             saturday_day = self._first_weekend_day(self.days)

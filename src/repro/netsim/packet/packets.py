@@ -27,9 +27,15 @@ class Packet:
     ecn_capable:
         True when the sending flow negotiated ECN: AQM queues may CE-mark
         this packet instead of dropping it.
+    l4s:
+        True when the sending flow negotiated the L4S service (the ECT(1)
+        codepoint of RFC 9331): a dual-queue AQM classifies the packet
+        into its low-latency queue and marks it at a shallow threshold.
+        Implies ``ecn_capable``.
     ce_marked:
         Congestion Experienced: set by a queue that would otherwise have
-        dropped the packet; echoed back to the sender with the ack.
+        dropped the packet (classic ECN) or whose marking law selected it
+        (L4S); echoed back to the sender with the ack.
     """
 
     flow_id: int
@@ -38,4 +44,5 @@ class Packet:
     send_time: float
     is_retransmission: bool = False
     ecn_capable: bool = False
+    l4s: bool = False
     ce_marked: bool = False

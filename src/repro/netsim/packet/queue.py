@@ -22,6 +22,18 @@ packet (:meth:`QueueDiscipline._mark`) and lets it through instead; the
 sender reacts to the echoed mark with a window reduction but no
 retransmission.  Hard buffer-overflow drops are never converted to marks.
 
+Beyond the drop-replacement marks, the AQMs offer *shallow* L4S-style
+marking knobs that signal congestion well before the drop law would:
+RED's ``mark_threshold`` CE-marks ECN arrivals once the averaged queue
+crosses a (typically low) occupancy fraction, and CoDel/FQ-CoDel's
+``ce_threshold_s`` CE-marks ECN packets whose sojourn exceeds a shallow
+delay threshold (Linux's ``ce_threshold``), independent of the dropping
+state machine.  :class:`DualPI2Queue` is the full RFC 9332 treatment: a
+dual-queue coupled AQM whose low-latency queue step-marks L4S traffic at
+a sub-millisecond threshold while a PI2 controller drops (or
+classically marks) in the classic queue, the two coupled by the square
+law so both traffic classes converge on the same per-flow rate.
+
 Disciplines are registered by name in :data:`QUEUE_DISCIPLINES` so
 scenario specs can select them with a plain string; :func:`make_queue`
 is the corresponding factory.
@@ -43,6 +55,7 @@ __all__ = [
     "REDQueue",
     "CoDelQueue",
     "FqCoDelQueue",
+    "DualPI2Queue",
     "QUEUE_DISCIPLINES",
     "make_queue",
 ]
@@ -267,6 +280,14 @@ class REDQueue(QueueDiscipline):
     ECN-capable arrivals the early-drop logic selects are CE-marked and
     admitted instead of dropped; buffer-overflow drops are never marked.
 
+    An optional *shallow marking* threshold (``mark_threshold``) gives
+    ECN traffic an earlier, L4S-style signal: once the averaged queue
+    reaches that occupancy fraction — typically well below
+    ``min_threshold`` — every ECN-capable arrival is CE-marked and
+    admitted, and the drop lottery is reserved for non-ECN traffic.  The
+    signal is a step in the average, not a probability ramp, which is
+    what a fraction-based (DCTCP) sender response expects.
+
     Parameters
     ----------
     min_threshold, max_threshold:
@@ -275,6 +296,10 @@ class REDQueue(QueueDiscipline):
         Drop probability when the average reaches ``max_threshold``.
     weight:
         EWMA weight for each arrival's occupancy sample.
+    mark_threshold:
+        Shallow-marking threshold as a fraction of ``buffer_bytes``:
+        ECN-capable arrivals are CE-marked whenever the averaged queue is
+        at or above it.  ``None`` (default) disables shallow marking.
     seed:
         Seed of the private drop-decision RNG.
     """
@@ -293,6 +318,7 @@ class REDQueue(QueueDiscipline):
         max_threshold: float = 0.75,
         max_drop_probability: float = 0.1,
         weight: float = 0.02,
+        mark_threshold: float | None = None,
         seed: int = 0,
     ):
         super().__init__(scheduler, rate_bps, buffer_bytes, on_departure, on_drop)
@@ -302,8 +328,13 @@ class REDQueue(QueueDiscipline):
             raise ValueError("max_drop_probability must be in (0, 1]")
         if not 0.0 < weight <= 1.0:
             raise ValueError("weight must be in (0, 1]")
+        if mark_threshold is not None and not 0.0 < mark_threshold <= 1.0:
+            raise ValueError("mark_threshold must be in (0, 1]")
         self._min_bytes = min_threshold * self._buffer_bytes
         self._max_bytes = max_threshold * self._buffer_bytes
+        self._mark_bytes = (
+            None if mark_threshold is None else mark_threshold * self._buffer_bytes
+        )
         self._max_p = float(max_drop_probability)
         self._weight = float(weight)
         self._rng = random.Random(seed)
@@ -330,6 +361,15 @@ class REDQueue(QueueDiscipline):
         if self._queued_bytes + packet.size_bytes > self._buffer_bytes:
             self._count = 0
             return False
+        if (
+            self._mark_bytes is not None
+            and packet.ecn_capable
+            and self._avg_bytes >= self._mark_bytes
+        ):
+            # Shallow step marking: the early signal replaces the drop
+            # lottery for this packet (one punishment per arrival).
+            self._mark(packet, now)
+            return True
         if self._avg_bytes < self._min_bytes:
             self._count = -1
             return True
@@ -423,6 +463,12 @@ class CoDelQueue(QueueDiscipline):
     served instead of dropped.  Arrivals are only refused by the hard
     ``buffer_bytes`` limit.
 
+    An optional shallow marking threshold (``ce_threshold_s``, modelled
+    on Linux CoDel's ``ce_threshold``) CE-marks ECN-capable packets whose
+    sojourn exceeds it, independently of the dropping state machine — an
+    L4S-style early signal at a delay well below ``target_delay_s``'s
+    dropping point.
+
     Parameters
     ----------
     target_delay_s:
@@ -431,6 +477,10 @@ class CoDelQueue(QueueDiscipline):
         Sliding window over which the delay must persist (default 100 ms).
     min_backlog_bytes:
         Never drop while the backlog is at or below this (one MTU).
+    ce_threshold_s:
+        Shallow marking threshold: ECN-capable packets whose sojourn
+        exceeds this are CE-marked at dequeue even while the drop law is
+        quiet.  ``None`` (default) disables shallow marking.
     """
 
     name = "codel"
@@ -445,11 +495,15 @@ class CoDelQueue(QueueDiscipline):
         target_delay_s: float = 0.005,
         interval_s: float = 0.1,
         min_backlog_bytes: float = 1500.0,
+        ce_threshold_s: float | None = None,
     ):
         super().__init__(scheduler, rate_bps, buffer_bytes, on_departure, on_drop)
         if target_delay_s <= 0 or interval_s <= 0:
             raise ValueError("target_delay_s and interval_s must be positive")
+        if ce_threshold_s is not None and ce_threshold_s <= 0:
+            raise ValueError("ce_threshold_s must be positive")
         self._codel = _CoDelControl(target_delay_s, interval_s, min_backlog_bytes)
+        self._ce_threshold_s = ce_threshold_s
 
     def _admit(self, packet: Packet, now: float) -> bool:
         return self._queued_bytes + packet.size_bytes <= self._buffer_bytes
@@ -459,12 +513,19 @@ class CoDelQueue(QueueDiscipline):
         while self._queue:
             packet, arrival = self._queue.popleft()
             self._queued_bytes -= packet.size_bytes
-            if self._codel.should_drop(now - arrival, now, self._queued_bytes):
+            sojourn = now - arrival
+            if self._codel.should_drop(sojourn, now, self._queued_bytes):
                 if packet.ecn_capable:
                     self._mark(packet, now)
                     return packet
                 self._drop(packet, now)
                 continue
+            if (
+                self._ce_threshold_s is not None
+                and packet.ecn_capable
+                and sojourn > self._ce_threshold_s
+            ):
+                self._mark(packet, now)
             return packet
         return None
 
@@ -509,6 +570,9 @@ class FqCoDelQueue(QueueDiscipline):
         backlog floor applies to the packet's own sub-queue.
     quantum_bytes:
         Deficit round-robin credit granted per round (default one MTU).
+    ce_threshold_s:
+        Shallow marking threshold (see :class:`CoDelQueue`), applied to
+        every sub-queue's sojourn times.  ``None`` disables it.
     flow_key:
         Classifier mapping a packet to its sub-queue key; defaults to
         ``Packet.flow_id``.
@@ -528,6 +592,7 @@ class FqCoDelQueue(QueueDiscipline):
         interval_s: float = 0.1,
         min_backlog_bytes: float = 1500.0,
         quantum_bytes: float = 1500.0,
+        ce_threshold_s: float | None = None,
         flow_key: Callable[[Packet], int] | None = None,
     ):
         super().__init__(scheduler, rate_bps, buffer_bytes, on_departure, on_drop)
@@ -535,10 +600,13 @@ class FqCoDelQueue(QueueDiscipline):
             raise ValueError("target_delay_s and interval_s must be positive")
         if quantum_bytes <= 0:
             raise ValueError("quantum_bytes must be positive")
+        if ce_threshold_s is not None and ce_threshold_s <= 0:
+            raise ValueError("ce_threshold_s must be positive")
         self._target_s = float(target_delay_s)
         self._interval_s = float(interval_s)
         self._min_backlog_bytes = float(min_backlog_bytes)
         self._quantum = float(quantum_bytes)
+        self._ce_threshold_s = ce_threshold_s
         self._flow_key = flow_key if flow_key is not None else self._default_flow_key
         #: Waiting packets per sub-queue key, each with its arrival time.
         self._subqueues: dict[int, deque[tuple[Packet, float]]] = {}
@@ -650,12 +718,243 @@ class FqCoDelQueue(QueueDiscipline):
             self._sub_bytes[key] -= packet.size_bytes
             self._queued_bytes -= packet.size_bytes
             self._deficits[key] -= packet.size_bytes
-            if self._codel[key].should_drop(now - arrival, now, self._sub_bytes[key]):
+            sojourn = now - arrival
+            if self._codel[key].should_drop(sojourn, now, self._sub_bytes[key]):
                 if packet.ecn_capable:
                     self._mark(packet, now)
                     return packet
                 self._drop(packet, now)
                 continue
+            if (
+                self._ce_threshold_s is not None
+                and packet.ecn_capable
+                and sojourn > self._ce_threshold_s
+            ):
+                self._mark(packet, now)
+            return packet
+        return None
+
+
+class DualPI2Queue(QueueDiscipline):
+    """Dual-queue coupled AQM for L4S (RFC 9332 style, simplified).
+
+    Two FIFOs share one drain rate:
+
+    * the *L queue* holds L4S packets (``Packet.l4s``, the model's stand-
+      in for the ECT(1) codepoint) and signals congestion by CE-marking
+      only — a *step* mark once a packet's sojourn reaches the shallow
+      ``step_threshold_s``, plus probabilistic marks coupled to classic-
+      queue pressure;
+    * the *classic queue* holds everything else and runs a PI2
+      controller: a Proportional-Integral law updates a base probability
+      ``p`` every ``t_update_s`` from the queue's head sojourn time, and
+      packets are dropped at dequeue with probability ``p**2`` (CE-marked
+      instead when the flow negotiated classic ECN — same squared law).
+
+    The square is the RFC 9332 *coupling law*: the L queue marks with
+    probability ``coupling * p`` while the classic queue drops with
+    ``p**2``, so a window-halving classic flow (rate ∝ 1/sqrt(p_C)) and a
+    fraction-responding L4S flow (rate ∝ 1/p_L) converge on the same
+    per-flow rate — signal-based fairness, where FQ-CoDel's is
+    scheduling-based.
+
+    Scheduling between the queues is credit-based weighted round robin:
+    the L queue has near-priority, but while both queues are backlogged
+    the classic queue is guaranteed a ``classic_share_min`` fraction of
+    the link, so unresponsive L traffic cannot starve it.  The hard
+    ``buffer_bytes`` limit is shared and overflow drops are never marked.
+    RFC 9332's overload machinery (dropping from the L queue when ``p``
+    saturates) is not modelled: the hard limit bounds the damage and lab
+    flows are responsive.
+
+    All randomness (the drop/mark lotteries) comes from ``seed``, so a
+    DualPI2 simulation is a pure function of its inputs.
+
+    Parameters
+    ----------
+    target_delay_s:
+        Classic-queue delay the PI controller steers toward (default
+        15 ms, the RFC's reference).
+    t_update_s:
+        Period of the PI probability update (default 16 ms).  Updates are
+        applied lazily (catching up on arrivals/dequeues), which is
+        equivalent for the event-driven queue and keeps the scheduler
+        free of timer events.
+    alpha, beta:
+        PI integral / proportional gains: each update adds
+        ``alpha * (qdelay - target) + beta * (qdelay - prev_qdelay)`` to
+        the base probability, delays in seconds.  The defaults are
+        RFC 9332 Appendix A's recommendation for a 16 ms update period
+        (``alpha = 0.1 * t_update / rtt_max**2``, ``beta =
+        0.3 / rtt_max`` at ``rtt_max`` = 100 ms).
+    coupling:
+        Coupling factor ``k``: L-queue mark probability is
+        ``min(coupling * p, 1)`` (default 2, the RFC's recommendation).
+    step_threshold_s:
+        Sojourn threshold of the L queue's step marking (default 1 ms).
+    classic_share_min:
+        Link share guaranteed to the classic queue while both queues are
+        backlogged (default 5 %).
+    seed:
+        Seed of the private drop/mark-decision RNG.
+    """
+
+    name = "dualpi2"
+    uses_seed = True
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        rate_bps: float,
+        buffer_bytes: float,
+        on_departure: Callable[[Packet, float], None],
+        on_drop: Callable[[Packet, float], None],
+        target_delay_s: float = 0.015,
+        t_update_s: float = 0.016,
+        alpha: float = 0.16,
+        beta: float = 3.2,
+        coupling: float = 2.0,
+        step_threshold_s: float = 0.001,
+        classic_share_min: float = 0.05,
+        seed: int = 0,
+    ):
+        super().__init__(scheduler, rate_bps, buffer_bytes, on_departure, on_drop)
+        if target_delay_s <= 0 or t_update_s <= 0:
+            raise ValueError("target_delay_s and t_update_s must be positive")
+        if alpha < 0 or beta < 0:
+            raise ValueError("alpha and beta must be non-negative")
+        if coupling <= 0:
+            raise ValueError("coupling must be positive")
+        if step_threshold_s <= 0:
+            raise ValueError("step_threshold_s must be positive")
+        if not 0.0 < classic_share_min < 1.0:
+            raise ValueError("classic_share_min must be in (0, 1)")
+        self._target_s = float(target_delay_s)
+        self._t_update = float(t_update_s)
+        self._alpha = float(alpha)
+        self._beta = float(beta)
+        self._coupling = float(coupling)
+        self._step_s = float(step_threshold_s)
+        self._c_share = float(classic_share_min)
+        self._rng = random.Random(seed)
+
+        #: Waiting packets per traffic class, each with its arrival time.
+        self._l_queue: deque[tuple[Packet, float]] = deque()
+        self._c_queue: deque[tuple[Packet, float]] = deque()
+        self._l_bytes = 0.0
+        self._c_bytes = 0.0
+
+        # PI2 controller state.
+        self._base_p = 0.0
+        self._prev_qdelay = 0.0
+        self._last_update = 0.0
+
+        # WRR credit: serve L while >= 0 (and L is backlogged); only
+        # biased while both queues compete, so it cannot drift unbounded.
+        self._wrr_credit = 0.0
+
+        #: CE marks issued by the L queue (step + coupled lottery).
+        self.packets_marked_l = 0
+        #: CE marks issued by the classic queue (squared law, ECN flows).
+        self.packets_marked_c = 0
+
+    # -- controller ------------------------------------------------------------
+
+    @property
+    def base_probability(self) -> float:
+        """The PI controller's current base probability ``p``."""
+        return self._base_p
+
+    def classic_drop_probability(self) -> float:
+        """Drop (or classic-mark) probability of the classic queue: ``p**2``."""
+        return min(self._base_p * self._base_p, 1.0)
+
+    def l4s_mark_probability(self) -> float:
+        """Coupled mark probability of the L queue: ``min(k * p, 1)``."""
+        return min(self._coupling * self._base_p, 1.0)
+
+    def _classic_qdelay(self, now: float) -> float:
+        """Sojourn time of the classic queue's head packet (0 when empty).
+
+        Head sojourn — not backlog over rate — so the controller sees the
+        delay the WRR scheduler actually imposes while the L queue is
+        taking its share.
+        """
+        if not self._c_queue:
+            return 0.0
+        return now - self._c_queue[0][1]
+
+    def _maybe_update(self, now: float) -> None:
+        """Catch the PI controller up to ``now`` in ``t_update`` steps."""
+        steps = int((now - self._last_update) / self._t_update)
+        if steps <= 0:
+            return
+        qdelay = self._classic_qdelay(now)
+        for _ in range(steps):
+            self._base_p += self._alpha * (qdelay - self._target_s)
+            self._base_p += self._beta * (qdelay - self._prev_qdelay)
+            self._base_p = min(max(self._base_p, 0.0), 1.0)
+            self._prev_qdelay = qdelay
+        self._last_update += steps * self._t_update
+
+    # -- discipline hooks ------------------------------------------------------
+
+    @property
+    def occupancy_packets(self) -> int:
+        """Packets currently waiting across both queues."""
+        return len(self._l_queue) + len(self._c_queue)
+
+    def _on_arrival(self, packet: Packet, now: float) -> None:
+        self._maybe_update(now)
+
+    def _admit(self, packet: Packet, now: float) -> bool:
+        return self._queued_bytes + packet.size_bytes <= self._buffer_bytes
+
+    def _enqueue_packet(self, packet: Packet, now: float) -> None:
+        if packet.l4s and packet.ecn_capable:
+            self._l_queue.append((packet, now))
+            self._l_bytes += packet.size_bytes
+        else:
+            self._c_queue.append((packet, now))
+            self._c_bytes += packet.size_bytes
+        self._queued_bytes += packet.size_bytes
+
+    def _next_packet(self) -> Packet | None:
+        now = self._scheduler.now
+        self._maybe_update(now)
+        while self._l_queue or self._c_queue:
+            serve_l = bool(self._l_queue) and (
+                not self._c_queue or self._wrr_credit >= 0.0
+            )
+            if serve_l:
+                packet, arrival = self._l_queue.popleft()
+                self._l_bytes -= packet.size_bytes
+                self._queued_bytes -= packet.size_bytes
+                if self._c_queue:
+                    self._wrr_credit -= self._c_share * packet.size_bytes
+                if (now - arrival) >= self._step_s or (
+                    self._base_p > 0.0
+                    and self._rng.random() < self.l4s_mark_probability()
+                ):
+                    self._mark(packet, now)
+                    self.packets_marked_l += 1
+                return packet
+            packet, arrival = self._c_queue.popleft()
+            self._c_bytes -= packet.size_bytes
+            self._queued_bytes -= packet.size_bytes
+            p_c = self.classic_drop_probability()
+            if p_c > 0.0 and self._rng.random() < p_c:
+                if not packet.ecn_capable:
+                    self._drop(packet, now)
+                    continue
+                self._mark(packet, now)
+                self.packets_marked_c += 1
+            if self._l_queue:
+                # Credit only packets that actually transmit: a dequeue-
+                # dropped classic packet must not buy the L queue service
+                # time, or the classic_share_min guarantee would erode by
+                # the classic drop rate.
+                self._wrr_credit += (1.0 - self._c_share) * packet.size_bytes
             return packet
         return None
 
@@ -666,6 +965,7 @@ QUEUE_DISCIPLINES: dict[str, type[QueueDiscipline]] = {
     REDQueue.name: REDQueue,
     CoDelQueue.name: CoDelQueue,
     FqCoDelQueue.name: FqCoDelQueue,
+    DualPI2Queue.name: DualPI2Queue,
 }
 
 

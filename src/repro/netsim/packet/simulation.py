@@ -18,11 +18,13 @@ flows (``cross_traffic``).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from collections.abc import Mapping, Sequence
 from typing import TYPE_CHECKING, Any
 
 from repro.netsim.packet.network import Network, PathConfig, QueueConfig
+from repro.netsim.packet.tcp.base import normalize_ecn
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.netsim.traffic.source import DynamicTrafficResult, TrafficSource
@@ -46,9 +48,20 @@ class FlowConfig:
         Whether the application's loss-based connections pace their packets
         (BBR always paces).
     ecn:
-        Whether the application's connections negotiate ECN: AQM queues
-        CE-mark their packets instead of dropping them, and the senders
-        respond to echoed marks with a window cut but no retransmission.
+        ECN negotiation and response mode of the application's
+        connections.  ``False`` (default): no ECN.  ``True`` or
+        ``"classic"``: the RFC 3168 response — AQM queues CE-mark the
+        packets instead of dropping them and each echoed mark costs one
+        loss-equivalent window reduction per RTT, with no retransmission
+        (``True`` is a backward-compatible alias for ``"classic"``).
+        ``"l4s"``: the scalable DCTCP/Prague response — the sender keeps
+        a per-RTT EWMA of the *fraction* of acked packets carrying CE
+        (``l4s_alpha``) and cuts the window proportionally
+        (``cwnd -= cwnd * alpha / 2``) instead of halving, so
+        fine-grained shallow marking steers it smoothly; the packets are
+        flagged as L4S (the model's ECT(1)), which the ``"dualpi2"``
+        discipline classifies into its low-latency queue.  BBR ignores
+        marks in both modes.
     treated:
         Arm label carried through to the results; does not change behaviour.
     rtt_ms:
@@ -71,7 +84,7 @@ class FlowConfig:
     cc: str = "reno"
     connections: int = 1
     paced: bool = False
-    ecn: bool = False
+    ecn: bool | str = False
     treated: bool = False
     rtt_ms: float | None = None
     path: PathConfig | None = None
@@ -80,6 +93,7 @@ class FlowConfig:
     def __post_init__(self) -> None:
         if self.connections < 1:
             raise ValueError("connections must be at least 1")
+        normalize_ecn(self.ecn)  # reject invalid modes at config time
         if self.rtt_ms is not None and self.rtt_ms <= 0:
             raise ValueError("rtt_ms must be positive")
         if self.transfer_bytes is not None and self.transfer_bytes < 0:
@@ -186,6 +200,25 @@ class PacketSimResult:
         if not fcts:
             return None
         return sum(fcts) / len(fcts)
+
+    def dynamic_fct_percentile(self, percentile: float) -> float | None:
+        """Nearest-rank percentile of the pooled dynamic FCTs.
+
+        ``percentile`` is in [0, 100]; pools the completion times of all
+        traffic sources (like :meth:`mean_dynamic_fct_s`) and returns
+        ``None`` when nothing completed.  Tail percentiles (p95/p99) are
+        the latency observable the mean FCT hides: a handful of elephant
+        flows dominate the mean while the tail tracks queueing.
+        """
+        if not 0.0 <= percentile <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        fcts = sorted(
+            fct for t in self.traffic.values() for fct in t.completion_times_s
+        )
+        if not fcts:
+            return None
+        rank = max(int(math.ceil(percentile / 100.0 * len(fcts))) - 1, 0)
+        return fcts[min(rank, len(fcts) - 1)]
 
 
 def simulate(

@@ -26,5 +26,7 @@ def make_sender(cc: str, *args, **kwargs) -> TcpSender:
     try:
         cls = registry[cc]
     except KeyError:
-        raise ValueError(f"unknown congestion control {cc!r}; expected one of {sorted(registry)}") from None
+        raise ValueError(
+            f"unknown congestion control {cc!r}; expected one of {sorted(registry)}"
+        ) from None
     return cls(*args, **kwargs)

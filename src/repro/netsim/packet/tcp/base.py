@@ -22,13 +22,25 @@ to update the congestion window, and may override
 rate (BBR always paces; Reno/Cubic pace only when Linux-style ``fq`` pacing
 is enabled for the flow).
 
-Flows that negotiated ECN (``ecn=True``) send ECN-capable packets; an AQM
-queue may CE-mark such a packet instead of dropping it.  The mark comes
-back with the ack and triggers :meth:`TcpSender.on_ecn_mark` — a window
-reduction like a loss, but with **no retransmission** (the marked packet
-was delivered), and at most once per RTT (RFC 3168's one-reduction-per-
-window rule).  Marks therefore reduce throughput without moving the
-retransmit counters, decoupling the two observables.
+Flows that negotiated ECN (``ecn=True`` or ``ecn="classic"``) send
+ECN-capable packets; an AQM queue may CE-mark such a packet instead of
+dropping it.  The mark comes back with the ack and triggers
+:meth:`TcpSender.on_ecn_mark` — a window reduction like a loss, but with
+**no retransmission** (the marked packet was delivered), and at most once
+per RTT (RFC 3168's one-reduction-per-window rule).  Marks therefore
+reduce throughput without moving the retransmit counters, decoupling the
+two observables.
+
+``ecn="l4s"`` selects the scalable DCTCP/Prague response instead: the
+sender tracks the fraction of acked packets that carried CE over each
+RTT, folds it into an EWMA (``l4s_alpha``, DCTCP's alpha), and reacts to
+marks with a *proportional* cut — ``cwnd -= cwnd * alpha / 2`` — rather
+than the classic halving, still at most once per RTT.  Fine-grained
+marking (many small signals) then steers the window smoothly instead of
+sawtoothing it.  L4S packets carry the ``l4s`` flag (the model's ECT(1)),
+which a dual-queue AQM uses to classify them into its low-latency queue.
+BBR overrides :meth:`TcpSender.on_ecn_mark` to ignore marks in both
+modes, exactly as it ignores loss.
 """
 
 from __future__ import annotations
@@ -39,7 +51,26 @@ from collections.abc import Callable
 from repro.netsim.packet.engine import EventScheduler
 from repro.netsim.packet.packets import Packet
 
-__all__ = ["TcpSender"]
+__all__ = ["TcpSender", "normalize_ecn"]
+
+
+def normalize_ecn(ecn: bool | str | None) -> str | None:
+    """Normalize an ECN negotiation flag to its response mode.
+
+    The single source of truth for the accepted values — ``False`` /
+    ``None`` (no ECN, returns ``None``), ``True`` / ``"classic"`` (the
+    RFC 3168 response, returns ``"classic"``) and ``"l4s"`` (the
+    DCTCP/Prague response).  Identity checks, not equality: ``0``/``1``
+    (or numpy bools) are rejected here, at configuration time, rather
+    than surviving into the simulation.
+    """
+    if ecn is True:
+        return "classic"
+    if ecn is False or ecn is None:
+        return None
+    if isinstance(ecn, str) and ecn in ("classic", "l4s"):
+        return ecn
+    raise ValueError(f"ecn must be a bool, 'classic' or 'l4s'; got {ecn!r}")
 
 
 class TcpSender:
@@ -62,8 +93,12 @@ class TcpSender:
         Whether the flow paces its packets (Linux ``fq`` style) instead of
         sending ack-clocked bursts.
     ecn:
-        Whether the flow negotiated ECN: its packets are ECN-capable and
-        echoed CE marks shrink the window instead of causing retransmits.
+        ECN negotiation: ``False`` (default) disables ECN; ``True`` or
+        ``"classic"`` selects the RFC 3168 response (one loss-equivalent
+        reduction per RTT on an echoed mark, no retransmission);
+        ``"l4s"`` selects the DCTCP/Prague response (marked-fraction EWMA
+        driving a proportional cut) and flags the flow's packets as L4S
+        so dual-queue AQMs classify them into the low-latency queue.
     initial_cwnd:
         Initial congestion window in packets.
     transfer_bytes:
@@ -78,6 +113,9 @@ class TcpSender:
     CA_PACING_GAIN = 1.2
     SS_PACING_GAIN = 2.0
 
+    #: EWMA gain of the L4S marked-fraction estimator (DCTCP's g = 1/16).
+    L4S_ALPHA_GAIN = 1.0 / 16.0
+
     def __init__(
         self,
         flow_id: int,
@@ -86,7 +124,7 @@ class TcpSender:
         mss_bytes: int = 1500,
         base_rtt_s: float = 0.02,
         paced: bool = False,
-        ecn: bool = False,
+        ecn: bool | str = False,
         initial_cwnd: float = 10.0,
         transfer_bytes: float | None = None,
     ):
@@ -98,13 +136,17 @@ class TcpSender:
             raise ValueError("initial_cwnd must be at least one packet")
         if transfer_bytes is not None and transfer_bytes < 0:
             raise ValueError("transfer_bytes must be non-negative")
+        ecn_mode = normalize_ecn(ecn)
         self.flow_id = flow_id
         self.scheduler = scheduler
         self.transmit = transmit
         self.mss_bytes = int(mss_bytes)
         self.base_rtt_s = float(base_rtt_s)
         self.paced = bool(paced)
-        self.ecn = bool(ecn)
+        #: Whether the flow negotiated ECN at all (either response mode).
+        self.ecn = ecn_mode is not None
+        #: ``"classic"`` / ``"l4s"`` / ``None`` (no ECN).
+        self.ecn_mode = ecn_mode
 
         # Congestion state.
         self.cwnd = float(initial_cwnd)
@@ -148,6 +190,15 @@ class TcpSender:
         # ECN: earliest time the next echoed mark may shrink the window
         # (one reduction per RTT, cf. RFC 3168's once-per-window rule).
         self._ecn_reaction_deadline = 0.0
+
+        # L4S (DCTCP/Prague) response state: an EWMA of the fraction of
+        # acked packets carrying CE, updated once per RTT window.  Alpha
+        # starts at 1 so the first mark of a flow's life still halves —
+        # DCTCP's conservative initialisation.
+        self.l4s_alpha = 1.0
+        self._alpha_window_end = 0.0
+        self._window_acked = 0
+        self._window_marked = 0
 
         # Counters at the start of the measurement window.
         self._measure_start_time = 0.0
@@ -237,12 +288,31 @@ class TcpSender:
     def on_ecn_mark(self, packet: Packet) -> None:
         """Update congestion state after an echoed CE mark.
 
-        Defaults to the subclass's loss response — the packet was
-        delivered, so the base class queues no retransmission and the
-        retransmit counters stay untouched.  Rate-based algorithms that
-        ignore loss (BBR) override this to ignore marks too.
+        Classic mode defaults to the subclass's loss response; L4S mode
+        dispatches to :meth:`on_l4s_mark` (the proportional DCTCP cut).
+        Either way the packet was delivered, so the base class queues no
+        retransmission and the retransmit counters stay untouched.
+        Rate-based algorithms that ignore loss (BBR) override this to
+        ignore marks too, in both modes.
         """
-        self.on_loss(packet)
+        if self.ecn_mode == "l4s":
+            self.on_l4s_mark(packet)
+        else:
+            self.on_loss(packet)
+
+    def on_l4s_mark(self, packet: Packet) -> None:
+        """DCTCP/Prague response: cut the window in proportion to alpha.
+
+        ``cwnd -= cwnd * alpha / 2`` — a halving when marking is
+        saturated (alpha = 1), a gentle trim when marks are sparse.
+        Subclasses whose growth law keeps extra state (Cubic's epoch)
+        extend this to resynchronise that state with the reduced window.
+        """
+        self.cwnd = max(
+            self.cwnd * (1.0 - self.l4s_alpha / 2.0),
+            getattr(self, "MIN_CWND", 2.0),
+        )
+        self.ssthresh = self.cwnd
 
     @property
     def in_slow_start(self) -> bool:
@@ -277,6 +347,23 @@ class TcpSender:
             # tally reconciles with the queues' even when the final ack
             # of a finite transfer carries CE.
             self.packets_marked += 1
+        if self.ecn_mode == "l4s":
+            # Marked-fraction bookkeeping (DCTCP): every acked packet
+            # lands in the current RTT window; at the window boundary the
+            # observed CE fraction folds into the alpha EWMA.
+            self._window_acked += 1
+            if packet.ce_marked:
+                self._window_marked += 1
+            now = self.scheduler.now
+            if now >= self._alpha_window_end:
+                if self._alpha_window_end > 0.0:
+                    fraction = self._window_marked / self._window_acked
+                    self.l4s_alpha += self.L4S_ALPHA_GAIN * (
+                        fraction - self.l4s_alpha
+                    )
+                self._window_acked = 0
+                self._window_marked = 0
+                self._alpha_window_end = now + self.srtt
         if (
             self._transfer_packets is not None
             and self.packets_acked >= self._transfer_packets
@@ -321,6 +408,7 @@ class TcpSender:
             send_time=self.scheduler.now,
             is_retransmission=retransmission,
             ecn_capable=self.ecn,
+            l4s=self.ecn_mode == "l4s",
         )
         self.next_sequence += 1
         return packet

@@ -103,7 +103,9 @@ class BBRSender(TcpSender):
         self._delivered_at_send.pop(packet.sequence, None)
 
     def on_ecn_mark(self, packet: Packet) -> None:
-        # BBRv1 ignores ECN like it ignores loss.  The marked packet was
+        # BBRv1 ignores ECN like it ignores loss — in both the classic
+        # and the l4s response mode (this override bypasses the base
+        # class's mode dispatch entirely).  The marked packet was
         # delivered, so its delivery sample must stay for on_ack.
         pass
 

@@ -71,3 +71,11 @@ class CubicSender(TcpSender):
         self.cwnd = max(self.cwnd * (1.0 - self.BETA), self.MIN_CWND)
         self.ssthresh = self.cwnd
         self._epoch_start = None
+
+    def on_l4s_mark(self, packet: Packet) -> None:
+        # The proportional DCTCP cut, plus a cubic epoch reset: without
+        # it the old trajectory's target would immediately re-inflate the
+        # window and neuter the mark.
+        self._w_max = self.cwnd
+        super().on_l4s_mark(packet)
+        self._epoch_start = None

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.netsim.packet.network import PathConfig
+from repro.netsim.packet.tcp.base import normalize_ecn
 from repro.netsim.traffic.arrivals import ArrivalProcess
 from repro.netsim.traffic.demand import DemandProfile
 from repro.netsim.traffic.sizes import SizeSampler
@@ -42,7 +43,9 @@ class TrafficSource:
         Optional time-varying modulation of the arrival rate; ``None``
         keeps the process homogeneous.
     cc, paced, ecn:
-        Transport configuration of every spawned flow.
+        Transport configuration of every spawned flow (``ecn`` accepts
+        the same ``False`` / ``True`` / ``"classic"`` / ``"l4s"`` modes
+        as :class:`~repro.netsim.packet.simulation.FlowConfig`).
     rtt_ms:
         Propagation delay of spawned flows (``None`` inherits the
         network's base RTT, or the path's).
@@ -59,7 +62,7 @@ class TrafficSource:
     demand: DemandProfile | None = None
     cc: str = "reno"
     paced: bool = False
-    ecn: bool = False
+    ecn: bool | str = False
     rtt_ms: float | None = None
     path: PathConfig | None = None
     label: str = ""
@@ -67,6 +70,7 @@ class TrafficSource:
     def __post_init__(self) -> None:
         if self.rtt_ms is not None and self.rtt_ms <= 0:
             raise ValueError("rtt_ms must be positive")
+        normalize_ecn(self.ecn)  # reject invalid modes at config time
 
 
 @dataclass

@@ -195,6 +195,7 @@ FIGURE_CELL_TASKS: tuple[str, ...] = (
     "topo_parking",
     "topo_fq",
     "topo_churn",
+    "topo_l4s",
 )
 
 
@@ -219,7 +220,7 @@ def figure_cells(
         # Unlike the other topology figures, churn consumes the seed:
         # arrival times and flow sizes are drawn from it.
         return _churn_cells(quick=quick, seed=seed)
-    if figure in ("topo_rtt", "topo_aqm", "topo_parking", "topo_fq"):
+    if figure in ("topo_rtt", "topo_aqm", "topo_parking", "topo_fq", "topo_l4s"):
         return _topology_cells(figure, quick=quick)
     if figure in FIGURE_CELL_TASKS:
         return _paired_cells(figure, quick=quick, seed=seed)
@@ -251,13 +252,23 @@ def _lab_cells(figure: str, noise: float, seed: int | None) -> dict[str, float]:
 
 def _topology_cells(figure: str, quick: bool) -> dict[str, float]:
     # Packet-level topology figures are deterministic, so the seed is
-    # deliberately not consumed: every replication returns the same cells.
+    # deliberately not consumed: every replication returns the same cells
+    # (topo_l4s pins DualPI2's lottery seed to the experiment default).
+    from repro.experiments.lab_l4s import run_l4s_experiment
     from repro.experiments.lab_parking_lot import (
         run_fq_experiment,
         run_parking_lot_experiment,
     )
     from repro.experiments.lab_topology import run_aqm_experiment, run_rtt_experiment
 
+    if figure == "topo_l4s":
+        comparison = run_l4s_experiment(quick=quick)
+        cells = {
+            f"bias_throughput@0.5:{arm}": comparison.bias(arm)
+            for arm in comparison.figures
+        }
+        cells["coexistence_ratio"] = comparison.coexistence_ratio
+        return cells
     if figure == "topo_rtt":
         fig = run_rtt_experiment(quick=quick)
         return {
@@ -297,11 +308,17 @@ def _churn_cells(quick: bool, seed: int | None) -> dict[str, float]:
         cells[f"bias_throughput@0.5:churn{rate:g}"] = comparison.bias(rate)
         stats = comparison.churn[rate]
         cells[f"churn_flows_completed:churn{rate:g}"] = float(stats.flows_completed)
-        # Always emit the FCT cell so replications agree on the cell set
+        # Always emit the FCT cells so replications agree on the cell set
         # (0.0 stands for "no completions", which only zero churn hits).
         cells[f"mean_fct_s:churn{rate:g}"] = (
             0.0 if stats.mean_fct_s is None else stats.mean_fct_s
         )
+        for name, value in (
+            ("p50", stats.p50_fct_s),
+            ("p95", stats.p95_fct_s),
+            ("p99", stats.p99_fct_s),
+        ):
+            cells[f"fct_{name}_s:churn{rate:g}"] = 0.0 if value is None else value
     return cells
 
 

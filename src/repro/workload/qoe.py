@@ -224,9 +224,10 @@ class SessionOutcomeModel:
             * noise()
         )
 
-        # --- cancelled starts -----------------------------------------------------------------
-        cancel_probability = self.base_cancel_probability + self.cancel_per_delay_second * np.maximum(
-            play_delay_s - 1.0, 0.0
+        # --- cancelled starts ---------------------------------------------------------
+        cancel_probability = (
+            self.base_cancel_probability
+            + self.cancel_per_delay_second * np.maximum(play_delay_s - 1.0, 0.0)
         )
         if weekend:
             cancel_probability = cancel_probability * self.weekend_cancel_multiplier

@@ -137,3 +137,118 @@ class TestSwitchbackRamp:
             run_switchback_ramp_experiment(ramp_factor=-1.0, quick=True)
         with pytest.raises(ValueError):
             run_switchback_ramp_experiment(control_connections=0, quick=True)
+
+
+class TestFctPercentiles:
+    """The PR-4 follow-up: FCT percentiles surfaced beyond the mean."""
+
+    def test_percentiles_present_and_ordered_under_churn(self, churn_comparison):
+        for rate in (2.0, 6.0):
+            stats = churn_comparison.churn[rate]
+            assert stats.p50_fct_s is not None
+            assert stats.p50_fct_s <= stats.p95_fct_s <= stats.p99_fct_s
+            # Heavy-tailed sizes: the tail stretches well past the median.
+            assert stats.p99_fct_s > stats.p50_fct_s
+
+    def test_percentiles_none_without_completions(self, churn_comparison):
+        zero = churn_comparison.churn[0.0]
+        assert zero.p50_fct_s is None
+        assert zero.p95_fct_s is None
+        assert zero.p99_fct_s is None
+
+    def test_summary_lines_show_the_tail(self, churn_comparison):
+        text = "\n".join(churn_comparison.summary_lines())
+        assert "p50" in text and "p95" in text and "p99" in text
+
+    def test_figure_cells_emit_percentiles(self):
+        from repro.runner.spec import ScenarioSpec, run_spec
+
+        cells = run_spec(
+            ScenarioSpec(
+                task="figure.cells",
+                params={"figure": "topo_churn", "quick": True},
+                seed=0,
+            )
+        )
+        for rate in (0, 2, 6):
+            for name in ("fct_p50_s", "fct_p95_s", "fct_p99_s"):
+                assert f"{name}:churn{rate}" in cells
+        # Zero churn has no completions: the placeholder cell is 0.0.
+        assert cells["fct_p50_s:churn0"] == 0.0
+        assert cells["fct_p95_s:churn6"] >= cells["fct_p50_s:churn6"]
+
+
+class TestTrafficSplit:
+    """The PR-4 follow-up: a production-split (e.g. 95/5) switchback."""
+
+    @pytest.fixture(scope="class")
+    def split_outcome(self):
+        # 75/25 keeps the quick unit count (4 units: 3 treated / 1
+        # control) so the variant stays cheap; the mechanics are the
+        # same as 95/5's.
+        return run_switchback_ramp_experiment(
+            quick=True, seed=0, jobs=4, traffic_split=0.75
+        )
+
+    def test_split_recorded_and_within_interval_reported(self, split_outcome):
+        assert split_outcome.traffic_split == 0.75
+        assert split_outcome.within_interval_ab_estimate is not None
+        assert split_outcome.within_interval_error() is not None
+
+    def test_within_interval_estimator_biased_by_interference(self, split_outcome):
+        # The naive within-interval A/B at a production split inherits
+        # the connection-count interference bias: it promises far more
+        # than the ground-truth TTE delivers.
+        assert (
+            split_outcome.within_interval_ab_estimate - split_outcome.truth_tte
+            > 1.0
+        )
+
+    def test_pure_switchback_has_no_within_interval_estimate(self, ramp_outcome):
+        assert ramp_outcome.traffic_split == 1.0
+        assert ramp_outcome.within_interval_ab_estimate is None
+        assert ramp_outcome.within_interval_error() is None
+        assert ramp_outcome.allocation_units is None
+
+    def test_summary_mentions_the_split(self, split_outcome):
+        text = "\n".join(split_outcome.summary_lines())
+        assert "75%/25%" in text
+        assert "within-interval" in text
+
+    def test_rounded_split_never_degenerates_to_fifty_fifty(self):
+        # Banker's rounding of 0.6 * 4 lands on exactly n/2; the clamp
+        # must force a strict majority so treatment and control intervals
+        # genuinely differ.
+        outcome = run_switchback_ramp_experiment(
+            quick=True, seed=0, jobs=4, traffic_split=0.6
+        )
+        k_lo, k_hi = outcome.allocation_units
+        assert k_hi > k_lo
+        assert k_hi + k_lo > 0
+
+    def test_allocation_units_exposed_for_mixed_splits(self, split_outcome):
+        # Quick scale: 4 units at 75/25 -> 3 treated in treatment
+        # intervals, 1 in control intervals.
+        assert split_outcome.allocation_units == (1, 3)
+
+    def test_unit_count_scales_for_fine_splits(self):
+        # 0.95 needs at least 20 units for the 5% arm to exist; the
+        # validation itself must accept the production split.
+        import math
+
+        assert math.ceil(1.0 / (1.0 - 0.95)) == 20
+
+    def test_invalid_split_rejected(self):
+        with pytest.raises(ValueError):
+            run_switchback_ramp_experiment(traffic_split=0.5, quick=True)
+        with pytest.raises(ValueError):
+            run_switchback_ramp_experiment(traffic_split=1.2, quick=True)
+
+    def test_pure_split_unchanged_by_the_new_parameter(self, ramp_outcome):
+        # traffic_split=1.0 must reproduce the historical pure result
+        # exactly (same specs, same cache keys).
+        explicit = run_switchback_ramp_experiment(
+            quick=True, seed=0, traffic_split=1.0
+        )
+        assert explicit.switchback_estimate == ramp_outcome.switchback_estimate
+        assert explicit.truth_tte == ramp_outcome.truth_tte

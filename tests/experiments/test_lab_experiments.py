@@ -40,9 +40,8 @@ class TestConnectionsFigure:
 
     def test_ab_estimate_shows_no_retransmission_change(self, connections_figure):
         for allocation in (0.1, 0.5, 0.9):
-            assert connections_figure.ab_estimate("retransmit_fraction", allocation) == pytest.approx(
-                0.0, abs=1e-6
-            )
+            estimate = connections_figure.ab_estimate("retransmit_fraction", allocation)
+            assert estimate == pytest.approx(0.0, abs=1e-6)
 
     def test_throughput_tte_is_zero(self, connections_figure):
         assert connections_figure.tte("throughput_mbps") == pytest.approx(0.0, abs=1e-6)

@@ -238,8 +238,10 @@ class TestLabSweep:
 
     def test_noise_is_reproducible(self):
         kwargs = dict(noise=0.02, seed=42)
-        a = run_lab_sweep(5, lambda i: Application(i, connections=2), lambda i: Application(i), **kwargs)
-        b = run_lab_sweep(5, lambda i: Application(i, connections=2), lambda i: Application(i), **kwargs)
+        treatment = lambda i: Application(i, connections=2)  # noqa: E731
+        control = lambda i: Application(i)  # noqa: E731
+        a = run_lab_sweep(5, treatment, control, **kwargs)
+        b = run_lab_sweep(5, treatment, control, **kwargs)
         assert a.curve("throughput_mbps").mu_treatment(0.4) == pytest.approx(
             b.curve("throughput_mbps").mu_treatment(0.4)
         )

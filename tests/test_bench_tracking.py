@@ -1,0 +1,109 @@
+"""Tests for the benchmark-tracking gate (BENCH_*.json trajectory).
+
+The CI bench job exports per-test wall times to JSON and fails the build
+on a >3x regression against the committed ``BENCH_baseline.json``; these
+tests pin the comparison logic and the committed baseline's shape.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "BENCH_baseline.json"
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_regression", REPO_ROOT / "benchmarks" / "check_regression.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+checker = _load_checker()
+
+
+class TestCompare:
+    def test_within_threshold_passes(self):
+        rows = checker.compare({"t": 1.0}, {"t": 0.9})
+        assert len(rows) == 1
+        assert not rows[0]["regressed"]
+        assert rows[0]["ratio"] == pytest.approx(1.0 / 0.9)
+
+    def test_beyond_threshold_fails(self):
+        (row,) = checker.compare({"t": 3.1}, {"t": 1.0})
+        assert row["regressed"]
+        assert row["ratio"] == pytest.approx(3.1)
+
+    def test_noise_floor_shields_fast_tests(self):
+        # 10x slower but still sub-half-second: CI jitter, not a signal.
+        (row,) = checker.compare({"t": 0.4}, {"t": 0.04})
+        assert not row["regressed"]
+
+    def test_one_sided_tests_never_fail_the_gate(self):
+        rows = checker.compare({"new": 9.0}, {"old": 1.0})
+        assert {row["nodeid"] for row in rows} == {"new", "old"}
+        assert not any(row["regressed"] for row in rows)
+
+    def test_custom_threshold(self):
+        (row,) = checker.compare({"t": 1.6}, {"t": 1.0}, threshold=1.5)
+        assert row["regressed"]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            checker.compare({}, {}, threshold=1.0)
+        with pytest.raises(ValueError):
+            checker.compare({}, {}, min_seconds=-1.0)
+
+
+class TestCli:
+    def _write(self, path, timings):
+        path.write_text(json.dumps({"schema": 1, "timings": timings}))
+        return path
+
+    def test_green_run_exits_zero(self, tmp_path, capsys):
+        current = self._write(tmp_path / "current.json", {"t": 1.0})
+        baseline = self._write(tmp_path / "baseline.json", {"t": 0.8})
+        assert checker.main([str(current), "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "no regression" in out
+
+    def test_regression_exits_nonzero_and_names_the_test(self, tmp_path, capsys):
+        current = self._write(tmp_path / "current.json", {"slow": 6.0, "ok": 1.0})
+        baseline = self._write(tmp_path / "baseline.json", {"slow": 1.0, "ok": 1.0})
+        assert checker.main([str(current), "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+        assert "slow" in out
+
+    def test_missing_baseline_is_not_an_error(self, tmp_path, capsys):
+        # First run on a branch that predates the baseline: report, pass.
+        current = self._write(tmp_path / "current.json", {"t": 1.0})
+        missing = tmp_path / "nope.json"
+        assert checker.main([str(current), "--baseline", str(missing)]) == 0
+        assert "nothing to compare" in capsys.readouterr().out
+
+
+class TestCommittedBaseline:
+    def test_baseline_exists_with_expected_schema(self):
+        payload = json.loads(BASELINE.read_text())
+        assert payload["schema"] == 1
+        assert payload["timings"]
+        for nodeid, seconds in payload["timings"].items():
+            assert nodeid.startswith("benchmarks/")
+            assert "::" in nodeid
+            assert seconds > 0.0
+
+    def test_baseline_covers_the_l4s_benchmarks(self):
+        payload = json.loads(BASELINE.read_text())
+        assert any("test_l4s.py" in nodeid for nodeid in payload["timings"])
+
+    def test_baseline_loads_through_the_checker(self):
+        timings = checker.load_timings(BASELINE)
+        rows = checker.compare(timings, timings)
+        assert rows and all(row["ratio"] == pytest.approx(1.0) for row in rows)
+        assert not any(row["regressed"] for row in rows)

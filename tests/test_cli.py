@@ -107,6 +107,28 @@ class TestCommands:
                 main(["topo_churn", "--quick", "--churn-rates", bad])
         assert "--churn-rates" in capsys.readouterr().err
 
+    def test_topo_l4s_command_quick(self, capsys):
+        assert main(["topo_l4s", "--quick", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        for arm in ("droptail", "codel-classic", "dualpi2-l4s", "fq_codel"):
+            assert f"arm: {arm}" in out
+        assert "bias" in out.lower()
+        assert "coexistence" in out
+
+    def test_topo_churn_traffic_split_variant(self, capsys):
+        argv = ["topo_churn", "--quick", "--churn-rates", "0",
+                "--traffic-split", "0.75"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "75%/25% intervals" in out
+        assert "within-interval" in out
+
+    def test_invalid_traffic_split_rejected(self, capsys):
+        for bad in ("0.5", "1.2", "0.0"):
+            with pytest.raises(SystemExit):
+                main(["topo_churn", "--quick", "--traffic-split", bad])
+        assert "--traffic-split" in capsys.readouterr().err
+
     def test_topo_parking_command_quick(self, capsys):
         assert main(["topo_parking", "--quick"]) == 0
         out = capsys.readouterr().out
@@ -157,7 +179,9 @@ class TestParallelDeterminism:
         parallel = capsys.readouterr().out
         assert serial == parallel
 
-    @pytest.mark.parametrize("figure", ["topo_fq", "topo_parking", "topo_churn"])
+    @pytest.mark.parametrize(
+        "figure", ["topo_fq", "topo_parking", "topo_churn", "topo_l4s"]
+    )
     def test_new_topology_figures_same_output_jobs_1_vs_4(self, figure, capsys):
         argv = [figure, "--quick"]
         assert main([*argv, "--jobs", "1"]) == 0

@@ -47,7 +47,10 @@ class TestDemandProperties:
         model = DiurnalDemandModel()
         demand = model.relative_demand(day, hour)
         assert demand >= 0.0
-        assert demand <= model.peak_relative_demand() * model.weekend_factor * model.weekend_daytime_boost
+        ceiling = (
+            model.peak_relative_demand() * model.weekend_factor * model.weekend_daytime_boost
+        )
+        assert demand <= ceiling
 
     @given(day=st.integers(min_value=0, max_value=30))
     @settings(max_examples=60, deadline=None)

@@ -21,7 +21,9 @@ CONGESTED = LinkHourState(
 )
 
 
-def generate(n=4000, capped_fraction=0.5, state=UNCONGESTED, link=LinkEffects(), seed=0, **model_kwargs):
+def generate(
+    n=4000, capped_fraction=0.5, state=UNCONGESTED, link=LinkEffects(), seed=0, **model_kwargs
+):
     model = SessionOutcomeModel(**model_kwargs)
     rng = np.random.default_rng(seed)
     capped = rng.random(n) < capped_fraction

@@ -13,6 +13,13 @@ the raw material of the perf trajectory.  CI runs the suite with the
 export enabled, uploads the file as an artifact and fails the build when
 a test regresses more than 3x against the committed repo-root
 ``BENCH_baseline.json`` (see ``benchmarks/check_regression.py``).
+
+Benchmarks that measure *absolute* engine throughput (the packet-engine
+microbenchmarks) additionally record packets/sec and events/sec through
+the ``throughput`` fixture; those land in the export's ``throughput``
+section, from which ``check_regression.py`` prints a speedup/slowdown
+delta table against the baseline (informational — wall-time is the
+gate).
 """
 
 import json
@@ -59,6 +66,36 @@ def run_once(benchmark, fn, *args, **kwargs):
 #: populated when this conftest is loaded, i.e. for benchmark items.
 _TIMINGS: dict[str, float] = {}
 
+#: Absolute-throughput metrics per test nodeid, filled by the
+#: ``throughput`` fixture (packet-engine microbenchmarks only).
+_THROUGHPUT: dict[str, dict[str, float]] = {}
+
+
+class ThroughputRecorder:
+    """Records one benchmark's absolute engine throughput for the export."""
+
+    def __init__(self, nodeid: str):
+        self.nodeid = nodeid
+
+    def record(self, *, packets: float, events: float, seconds: float) -> None:
+        """Record absolute rates for this benchmark.
+
+        ``packets`` counts (MSS-sized) segments sent, ``events`` the
+        scheduler callbacks executed, over ``seconds`` of wall time.
+        """
+        if seconds <= 0:
+            raise ValueError("seconds must be positive")
+        _THROUGHPUT[self.nodeid] = {
+            "packets_per_s": packets / seconds,
+            "events_per_s": events / seconds,
+        }
+
+
+@pytest.fixture
+def throughput(request):
+    """Recorder benchmarks use to report absolute pkts/sec and events/sec."""
+    return ThroughputRecorder(request.node.nodeid)
+
 
 def pytest_runtest_logreport(report):
     """Record every benchmark test's call-phase wall time."""
@@ -72,11 +109,12 @@ def pytest_sessionfinish(session):
     if not out or not _TIMINGS:
         return
     payload = {
-        "schema": 1,
+        "schema": 2,
         "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": platform.python_version(),
         "platform": platform.platform(),
         "timings": dict(sorted(_TIMINGS.items())),
+        "throughput": dict(sorted(_THROUGHPUT.items())),
     }
     path = Path(out)
     path.parent.mkdir(parents=True, exist_ok=True)

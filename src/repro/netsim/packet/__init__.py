@@ -27,7 +27,7 @@ model's sharing behaviour and to support ablation benchmarks.
 Public entry point: :func:`repro.netsim.packet.simulation.simulate`.
 """
 
-from repro.netsim.packet.engine import EventScheduler
+from repro.netsim.packet.engine import CalendarScheduler, EventScheduler, make_scheduler
 from repro.netsim.packet.network import (
     Network,
     PathConfig,
@@ -50,6 +50,8 @@ from repro.netsim.packet.tcp import BBRSender, CubicSender, RenoSender, TcpSende
 
 __all__ = [
     "EventScheduler",
+    "CalendarScheduler",
+    "make_scheduler",
     "QueueDiscipline",
     "DropTailQueue",
     "REDQueue",

@@ -34,8 +34,8 @@ from dataclasses import dataclass, field
 from collections.abc import Mapping, Sequence
 from typing import TYPE_CHECKING, Any
 
-from repro.netsim.packet.engine import EventScheduler
-from repro.netsim.packet.packets import Packet
+from repro.netsim.packet.engine import make_scheduler
+from repro.netsim.packet.packets import Packet, PacketPool
 from repro.netsim.packet.queue import QUEUE_DISCIPLINES, QueueDiscipline, make_queue
 from repro.netsim.packet.tcp import make_sender
 from repro.netsim.packet.tcp.base import TcpSender
@@ -242,6 +242,23 @@ class Network:
         queue disciplines with an internal RNG (RED) unless
         ``queue_params`` pins its own ``seed``.  Inert when no path has a
         loss segment and the discipline draws no randomness.
+    scheduler:
+        Event-scheduler implementation: ``"heap"`` (default), ``"calendar"``
+        or ``"auto"`` (the calendar queue when the event horizon — one
+        base RTT at MSS serialization ticks — fits its geometry; see
+        :func:`repro.netsim.packet.engine.make_scheduler`).  Both
+        schedulers deliver the identical event order, so this knob never
+        changes results, only speed.
+    event_batching:
+        Default-off fast path: when True, senders coalesce up to
+        ``batch_segments`` MSS segments into one macro-packet, so a
+        window of k segments costs O(k / batch) scheduler events.
+        Results are *approximately* equal to the unbatched run (same
+        steady-state rates, coarser burst granularity); leave it off
+        whenever bit-exact traces matter.  See ``docs/performance.md``.
+    batch_segments:
+        Macro-packet size cap, in segments, when ``event_batching`` is
+        on (default 8); inert otherwise.
     """
 
     def __init__(
@@ -254,15 +271,30 @@ class Network:
         queue_discipline: str = "droptail",
         queue_params: dict[str, Any] | None = None,
         seed: int | None = None,
+        scheduler: str = "heap",
+        event_batching: bool = False,
+        batch_segments: int = 8,
     ):
         if capacity_mbps <= 0:
             raise ValueError("capacity_mbps must be positive")
         if base_rtt_ms <= 0:
             raise ValueError("base_rtt_ms must be positive")
-        self.scheduler = EventScheduler()
+        if batch_segments < 1:
+            raise ValueError("batch_segments must be at least 1")
         self.capacity_mbps = float(capacity_mbps)
         self.base_rtt_ms = float(base_rtt_ms)
         self.mss_bytes = int(mss_bytes)
+        # Calendar geometry: one bucket per MSS serialization time at the
+        # default bottleneck, a horizon of one base RTT (where nearly all
+        # pending events live at steady state).
+        self.scheduler = make_scheduler(
+            scheduler,
+            horizon_s=self.base_rtt_ms / 1000.0,
+            bucket_s=self.mss_bytes * 8.0 / (self.capacity_mbps * 1e6),
+        )
+        self.event_batching = bool(event_batching)
+        self._batch_segments = int(batch_segments) if self.event_batching else 1
+        self._pool = PacketPool()
         self._seed = 0 if seed is None else int(seed)
         self._rng = random.Random(self._seed)
 
@@ -392,6 +424,8 @@ class Network:
                 paced=config.paced,
                 ecn=config.ecn,
                 transfer_bytes=config.transfer_bytes,
+                batch_segments=self._batch_segments,
+                pool=self._pool,
             )
             self._senders[cid] = sender
             self._connection_owner[cid] = config.flow_id
@@ -478,6 +512,8 @@ class Network:
             paced=source.paced,
             ecn=source.ecn,
             transfer_bytes=size_bytes,
+            batch_segments=self._batch_segments,
+            pool=self._pool,
         )
         self._senders[cid] = sender
         self._connection_owner[cid] = DYNAMIC_UNIT_BASE + cid
@@ -512,6 +548,9 @@ class Network:
             def deliver_ack(sender=sender, packet=packet, ack_time=ack_time) -> None:
                 rtt_sample = ack_time - packet.send_time
                 sender.handle_ack(packet, rtt_sample)
+                # The ack was this packet's one terminal event (each packet
+                # ends in exactly one of ack / loss): recycle the slot.
+                self._pool.release(packet)
 
             self.scheduler.schedule(ack_time, deliver_ack)
 
@@ -529,6 +568,7 @@ class Network:
 
         def deliver_loss(sender=sender, packet=packet) -> None:
             sender.handle_loss(packet)
+            self._pool.release(packet)
 
         self.scheduler.schedule(notify_time, deliver_loss)
 

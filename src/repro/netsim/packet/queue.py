@@ -429,6 +429,7 @@ class _CoDelControl:
         return now >= self.first_above_time
 
     def should_drop(self, sojourn_s: float, now: float, backlog_bytes: float) -> bool:
+        """CoDel's control law: whether to drop the packet dequeued now."""
         ok = self._ok_to_drop(sojourn_s, now, backlog_bytes)
         if self.dropping:
             if not ok:

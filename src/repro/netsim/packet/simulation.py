@@ -10,7 +10,7 @@ bottleneck, symmetric propagation delay, receivers acknowledging every
 packet immediately.  Beyond the default, every axis is composable via
 :mod:`repro.netsim.packet.network`: per-flow RTTs (``FlowConfig.rtt_ms``),
 AQM queue disciplines (``queue_discipline="red"`` / ``"codel"`` /
-``"fq_codel"``), ECN negotiation (``FlowConfig.ecn``), random-loss path
+``"fq_codel"`` / ``"dualpi2"``), ECN negotiation (``FlowConfig.ecn``), random-loss path
 segments (``FlowConfig.path``), additional named queues
 (``extra_queues``, e.g. a parking-lot chain) and unmeasured background
 flows (``cross_traffic``).
@@ -235,6 +235,9 @@ def simulate(
     cross_traffic: Sequence[FlowConfig] | None = None,
     traffic_sources: Sequence[TrafficSource] | None = None,
     seed: int | None = None,
+    scheduler: str = "heap",
+    event_batching: bool = False,
+    batch_segments: int = 8,
 ) -> PacketSimResult:
     """Run a packet-level simulation of flows sharing a bottleneck.
 
@@ -264,7 +267,7 @@ def simulate(
         Time excluded from measurements while flows ramp up.
     queue_discipline:
         Bottleneck queue discipline: ``"droptail"`` (default), ``"red"``,
-        ``"codel"`` or ``"fq_codel"``.
+        ``"codel"``, ``"fq_codel"`` or ``"dualpi2"``.
     queue_params:
         Extra parameters for the queue discipline (RED thresholds, CoDel
         target delay, ...).
@@ -285,6 +288,19 @@ def simulate(
         Seed for the random-loss and RED RNGs, and for every traffic
         source's arrival/size draws; inert for the default loss-free,
         churn-free drop-tail topology.
+    scheduler:
+        Event-scheduler implementation: ``"heap"`` (default),
+        ``"calendar"`` or ``"auto"``.  Both deliver the identical event
+        order, so this knob changes speed, never results.
+    event_batching:
+        Default-off fast path: coalesce up to ``batch_segments`` MSS
+        segments into one macro-packet (one scheduler event per burst).
+        Steady-state rates match the unbatched run within the tolerances
+        pinned by the trace-equivalence tests, but traces are not
+        bit-identical; leave it off when they must be.
+    batch_segments:
+        Macro-packet size cap when ``event_batching`` is on (default 8);
+        inert otherwise.
     """
     if not flows:
         raise ValueError("at least one flow is required")
@@ -302,6 +318,9 @@ def simulate(
         queue_discipline=queue_discipline,
         queue_params=dict(queue_params) if queue_params else None,
         seed=seed,
+        scheduler=scheduler,
+        event_batching=event_batching,
+        batch_segments=batch_segments,
     )
     for queue_config in extra_queues or ():
         network.add_queue_config(queue_config)

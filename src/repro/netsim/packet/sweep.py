@@ -127,6 +127,9 @@ def run_packet_sweep(
     rtt_ms: Sequence[float] | None = None,
     loss_rate: float = 0.0,
     seed: int | None = None,
+    scheduler: str = "heap",
+    event_batching: bool = False,
+    batch_segments: int = 8,
     jobs: int = 1,
     cache: ResultCache | None = None,
     executor: ParallelExecutor | None = None,
@@ -179,6 +182,18 @@ def run_packet_sweep(
         segment and no seed-consuming discipline), mirroring the
         inert-knob rule, so replications of deterministic sweeps share
         one cache entry.
+    scheduler:
+        Event-scheduler implementation (``"heap"``/``"calendar"``/
+        ``"auto"``).  Order-identical by contract, so results never
+        depend on it; like every knob it enters the content key only
+        when it deviates from the default.
+    event_batching, batch_segments:
+        Macro-packet fast path (see
+        :func:`repro.netsim.packet.simulation.simulate`).  Batching
+        changes the simulated traces (coarser bursts), so when enabled
+        both knobs enter the content key — batched and unbatched runs
+        must not share cache entries; left off they stay out of the key,
+        per the inert-knob rule.
     jobs, cache, executor:
         Arms are independent, so they fan out over a
         :class:`~repro.runner.executor.ParallelExecutor` with ``jobs``
@@ -208,6 +223,13 @@ def run_packet_sweep(
         extra_params["cross_traffic"] = tuple(cross_traffic)
     if traffic_sources:
         extra_params["traffic_sources"] = tuple(traffic_sources)
+    if scheduler != "heap":
+        extra_params["scheduler"] = scheduler
+    if event_batching:
+        # Batching approximates the unbatched traces, so batched and
+        # unbatched runs must not share cache entries.
+        extra_params["event_batching"] = True
+        extra_params["batch_segments"] = int(batch_segments)
 
     specs: list[ScenarioSpec] = []
     for k in allocations:

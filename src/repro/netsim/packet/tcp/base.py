@@ -49,7 +49,7 @@ import math
 from collections.abc import Callable
 
 from repro.netsim.packet.engine import EventScheduler
-from repro.netsim.packet.packets import Packet
+from repro.netsim.packet.packets import Packet, PacketPool
 
 __all__ = ["TcpSender", "normalize_ecn"]
 
@@ -106,6 +106,25 @@ class TcpSender:
         (default) models an unlimited bulk transfer.  Data is sent in
         MSS-sized packets, so the transfer is rounded up to whole
         packets; a zero-byte transfer completes the instant it starts.
+    batch_segments:
+        Event-batching factor.  1 (default) sends one MSS-sized packet
+        per simulated packet, exactly as before.  Greater than 1 lets
+        the sender coalesce up to that many segments into a single
+        *macro-packet* (one enqueue, one service completion, one ack or
+        loss event for the whole burst), so a window of k segments costs
+        O(k / batch) scheduler events instead of O(k).  Per-segment
+        counters (``packets_sent``, ``inflight``, cwnd growth, ...) are
+        scaled by each packet's ``segments`` field, and subclasses
+        provide closed-form :meth:`on_ack_batch` growth so a batch of n
+        acks costs O(1) work.  The congestion *dynamics* are slightly
+        coarser (burstier arrivals, burst-granular losses); see
+        ``docs/performance.md`` for the measured deviations.
+    pool:
+        Optional :class:`~repro.netsim.packet.packets.PacketPool` to
+        allocate packets from.  The network builder shares one pool per
+        simulation and recycles packets after their ack/loss handler
+        runs; a pooled packet has every field rewritten on reuse, so
+        results are bit-identical with or without a pool.
     """
 
     #: Pacing-rate multiple of cwnd/RTT used during congestion avoidance by
@@ -115,6 +134,13 @@ class TcpSender:
 
     #: EWMA gain of the L4S marked-fraction estimator (DCTCP's g = 1/16).
     L4S_ALPHA_GAIN = 1.0 / 16.0
+
+    #: Event batching keeps at least this many macro-packets per window:
+    #: a macro never exceeds window/4, so batching only coalesces when
+    #: the window is large and one macro loss never costs more than a
+    #: quarter of it.  Small windows degrade gracefully to per-segment
+    #: sending (macro size 1 — the exact dynamics).
+    MIN_MACROS_PER_WINDOW = 4
 
     def __init__(
         self,
@@ -127,6 +153,8 @@ class TcpSender:
         ecn: bool | str = False,
         initial_cwnd: float = 10.0,
         transfer_bytes: float | None = None,
+        batch_segments: int = 1,
+        pool: PacketPool | None = None,
     ):
         if mss_bytes <= 0:
             raise ValueError("mss_bytes must be positive")
@@ -136,6 +164,8 @@ class TcpSender:
             raise ValueError("initial_cwnd must be at least one packet")
         if transfer_bytes is not None and transfer_bytes < 0:
             raise ValueError("transfer_bytes must be non-negative")
+        if batch_segments < 1:
+            raise ValueError("batch_segments must be at least 1")
         ecn_mode = normalize_ecn(ecn)
         self.flow_id = flow_id
         self.scheduler = scheduler
@@ -143,6 +173,8 @@ class TcpSender:
         self.mss_bytes = int(mss_bytes)
         self.base_rtt_s = float(base_rtt_s)
         self.paced = bool(paced)
+        self.batch_segments = int(batch_segments)
+        self._pool = pool
         #: Whether the flow negotiated ECN at all (either response mode).
         self.ecn = ecn_mode is not None
         #: ``"classic"`` / ``"l4s"`` / ``None`` (no ECN).
@@ -281,6 +313,19 @@ class TcpSender:
         """Update congestion state after a successful delivery."""
         raise NotImplementedError
 
+    def on_ack_batch(self, packet: Packet, rtt_sample: float, segments: int) -> None:
+        """Update congestion state after a macro-packet delivery.
+
+        Called instead of :meth:`on_ack` when event batching coalesced
+        ``segments`` acks into one.  The default simply replays
+        :meth:`on_ack` per segment — always correct, O(segments).
+        Subclasses override with a closed-form O(1) update (Reno adds
+        ``n/cwnd`` in one step; BBR takes a single delivery-rate sample
+        for the whole burst).
+        """
+        for _ in range(segments):
+            self.on_ack(packet, rtt_sample)
+
     def on_loss(self, packet: Packet) -> None:
         """Update congestion state after a loss."""
         raise NotImplementedError
@@ -332,12 +377,19 @@ class TcpSender:
     # -- feedback from the network ----------------------------------------------
 
     def handle_ack(self, packet: Packet, rtt_sample: float) -> None:
-        """Process an acknowledgment for ``packet``."""
+        """Process an acknowledgment for ``packet``.
+
+        A macro-packet (``packet.segments > 1``) acknowledges its whole
+        burst at once: per-segment counters scale by the segment count,
+        the RTT sample is taken once, and congestion growth runs through
+        :meth:`on_ack_batch` instead of :meth:`on_ack`.
+        """
         if self.completed:
             return  # stale feedback for an already-finished transfer
-        self.packets_acked += 1
+        segments = packet.segments
+        self.packets_acked += segments
         self.bytes_acked += packet.size_bytes
-        self.inflight = max(self.inflight - 1, 0)
+        self.inflight = max(self.inflight - segments, 0)
         if rtt_sample > 0:
             self.min_rtt = min(self.min_rtt, rtt_sample)
             # Standard EWMA with alpha = 1/8.
@@ -346,14 +398,14 @@ class TcpSender:
             # Count the mark before any completion exit so the sender's
             # tally reconciles with the queues' even when the final ack
             # of a finite transfer carries CE.
-            self.packets_marked += 1
+            self.packets_marked += segments
         if self.ecn_mode == "l4s":
             # Marked-fraction bookkeeping (DCTCP): every acked packet
             # lands in the current RTT window; at the window boundary the
             # observed CE fraction folds into the alpha EWMA.
-            self._window_acked += 1
+            self._window_acked += segments
             if packet.ce_marked:
-                self._window_marked += 1
+                self._window_marked += segments
             now = self.scheduler.now
             if now >= self._alpha_window_end:
                 if self._alpha_window_end > 0.0:
@@ -379,49 +431,107 @@ class TcpSender:
             if now >= self._ecn_reaction_deadline:
                 self._ecn_reaction_deadline = now + self.srtt
                 self.on_ecn_mark(packet)
-        self.on_ack(packet, rtt_sample)
+        if segments == 1:
+            self.on_ack(packet, rtt_sample)
+        else:
+            self.on_ack_batch(packet, rtt_sample, segments)
         self._try_send()
 
     def handle_loss(self, packet: Packet) -> None:
-        """Process a loss notification for ``packet``."""
+        """Process a loss notification for ``packet``.
+
+        Losing a macro-packet loses its whole burst (the counters scale
+        by the segment count, and every segment is queued for
+        retransmission) but counts as *one* congestion event — one
+        :meth:`on_loss` window reduction — just as a real burst loss
+        within a window triggers a single fast-recovery episode.
+        """
         if self.completed:
             return  # stale feedback for an already-finished transfer
-        self.packets_lost += 1
-        self.inflight = max(self.inflight - 1, 0)
-        self._pending_retransmissions += 1
+        segments = packet.segments
+        self.packets_lost += segments
+        self.inflight = max(self.inflight - segments, 0)
+        self._pending_retransmissions += segments
         self.on_loss(packet)
         self._try_send()
 
     # -- transmission -------------------------------------------------------------
 
-    def _build_packet(self) -> Packet:
+    def _batch_size(self) -> int:
+        """Segments to coalesce into the next packet (1 without batching).
+
+        A macro-packet never overshoots the congestion window (it is
+        capped by the current headroom), never exceeds a quarter of the
+        window (``MIN_MACROS_PER_WINDOW`` — so batching engages as the
+        window grows and vanishes when it is small), never mixes
+        retransmitted and new data, and never runs past a finite
+        transfer's budget.
+
+        L4S senders never batch: the DCTCP control law steers on the
+        *fraction* of individually marked packets against a shallow,
+        sub-RTT marking threshold, and macro-sized bursts both quantise
+        that fraction and overrun the threshold, inflating alpha until
+        the flow starves (measured: a dualpi2 lab loses half its
+        aggregate throughput).  Classic ECN and loss-based feedback
+        react once per RTT and are insensitive to the burst granularity.
+        """
+        if self.batch_segments <= 1 or self.ecn_mode == "l4s":
+            return 1
+        limit = self.window_limit()
+        segments = min(
+            self.batch_segments,
+            limit - self.inflight,
+            limit // self.MIN_MACROS_PER_WINDOW,
+        )
         if self._pending_retransmissions > 0:
-            self._pending_retransmissions -= 1
+            segments = min(segments, self._pending_retransmissions)
+        elif self._transfer_packets is not None:
+            segments = min(segments, self._transfer_packets - self._new_packets_sent)
+        return max(segments, 1)
+
+    def _build_packet(self) -> Packet:
+        segments = self._batch_size()
+        if self._pending_retransmissions > 0:
+            self._pending_retransmissions -= segments
             retransmission = True
         else:
             retransmission = False
-            self._new_packets_sent += 1
-        packet = Packet(
-            flow_id=self.flow_id,
-            sequence=self.next_sequence,
-            size_bytes=self.mss_bytes,
-            send_time=self.scheduler.now,
-            is_retransmission=retransmission,
-            ecn_capable=self.ecn,
-            l4s=self.ecn_mode == "l4s",
-        )
+            self._new_packets_sent += segments
+        if self._pool is not None:
+            packet = self._pool.acquire(
+                flow_id=self.flow_id,
+                sequence=self.next_sequence,
+                size_bytes=self.mss_bytes * segments,
+                send_time=self.scheduler.now,
+                is_retransmission=retransmission,
+                ecn_capable=self.ecn,
+                l4s=self.ecn_mode == "l4s",
+                segments=segments,
+            )
+        else:
+            packet = Packet(
+                flow_id=self.flow_id,
+                sequence=self.next_sequence,
+                size_bytes=self.mss_bytes * segments,
+                send_time=self.scheduler.now,
+                is_retransmission=retransmission,
+                ecn_capable=self.ecn,
+                l4s=self.ecn_mode == "l4s",
+                segments=segments,
+            )
         self.next_sequence += 1
         return packet
 
-    def _send_one(self) -> None:
+    def _send_one(self) -> Packet:
         packet = self._build_packet()
-        self.packets_sent += 1
+        self.packets_sent += packet.segments
         self.bytes_sent += packet.size_bytes
         if packet.is_retransmission:
-            self.packets_retransmitted += 1
+            self.packets_retransmitted += packet.segments
             self.bytes_retransmitted += packet.size_bytes
-        self.inflight += 1
+        self.inflight += packet.segments
         self.transmit(packet)
+        return packet
 
     def _can_send(self) -> bool:
         return (
@@ -469,9 +579,12 @@ class TcpSender:
             self._send_paced_packet()
 
     def _send_paced_packet(self) -> None:
-        self._send_one()
+        packet = self._send_one()
         rate = max(self.current_pacing_rate_bps(), 1.0)
-        interval = self.mss_bytes * 8.0 / rate
+        # A macro-packet earns a proportionally longer pacing interval,
+        # so the paced *byte* rate is unchanged by batching (for a
+        # single-segment packet this is exactly the old mss/rate gap).
+        interval = packet.size_bytes * 8.0 / rate
         self._next_pacing_time = self.scheduler.now + interval
         if self._can_send():
             self._pacing_timer_armed = True

@@ -74,19 +74,22 @@ class BBRSender(TcpSender):
     # -- TcpSender overrides ------------------------------------------------------
 
     def current_pacing_rate_bps(self) -> float:
+        """Pacing rate: the phase gain times the bottleneck estimate."""
         return max(self._pacing_gain * self.bottleneck_bw_bps, 1e3)
 
     def window_limit(self) -> int:
+        """Inflight cap: the cwnd gain times the estimated BDP."""
         return max(int(self._cwnd_gain * self.estimated_bdp_packets), 4)
 
-    def _send_one(self) -> None:  # record delivery state at send time
+    def _send_one(self) -> Packet:  # record delivery state at send time
         self._delivered_at_send[self.next_sequence] = (
             self._delivered_bytes_total,
             self.scheduler.now,
         )
-        super()._send_one()
+        return super()._send_one()
 
     def on_ack(self, packet: Packet, rtt_sample: float) -> None:
+        """Fold one delivery-rate sample into the bandwidth filter."""
         self._delivered_bytes_total += packet.size_bytes
         sample = self._delivered_at_send.pop(packet.sequence, None)
         if sample is not None:
@@ -97,17 +100,32 @@ class BBRSender(TcpSender):
                 self._bw_samples.append(rate)
         self._update_phase()
 
+    def on_ack_batch(self, packet: Packet, rtt_sample: float, segments: int) -> None:
+        """One delivery-rate sample per macro-packet, not per segment.
+
+        BBR's model is byte-based: :meth:`on_ack` already credits the
+        macro-packet's full ``size_bytes`` to the delivery total and
+        takes exactly one rate sample from the burst — replaying it per
+        segment (the base-class default) would multiply the delivered
+        byte count.  So a batched ack is simply a single :meth:`on_ack`.
+        """
+        self.on_ack(packet, rtt_sample)
+
     def on_loss(self, packet: Packet) -> None:
-        # BBRv1 does not react to loss; the packet is retransmitted by the
-        # base class bookkeeping but the rate model is unchanged.
+        """Drop the stale delivery sample; BBRv1 does not react to loss.
+
+        The packet is retransmitted by the base-class bookkeeping but
+        the rate model is unchanged.
+        """
         self._delivered_at_send.pop(packet.sequence, None)
 
     def on_ecn_mark(self, packet: Packet) -> None:
-        # BBRv1 ignores ECN like it ignores loss — in both the classic
-        # and the l4s response mode (this override bypasses the base
-        # class's mode dispatch entirely).  The marked packet was
-        # delivered, so its delivery sample must stay for on_ack.
-        pass
+        """Ignore the mark: BBRv1 is ECN-agnostic in both response modes.
+
+        This override bypasses the base class's mode dispatch entirely.
+        The marked packet was delivered, so its delivery sample must
+        stay for :meth:`on_ack`.
+        """
 
     # -- phase machine -------------------------------------------------------------
 

@@ -48,6 +48,7 @@ class CubicSender(TcpSender):
             self._w_max = self.cwnd
 
     def on_ack(self, packet: Packet, rtt_sample: float) -> None:
+        """Step the window toward the cubic target W(t) for one ack."""
         if self.in_slow_start:
             self.cwnd += 1.0
             return
@@ -56,7 +57,6 @@ class CubicSender(TcpSender):
         t = self.scheduler.now - (self._epoch_start or self.scheduler.now)
         target = self.C * (t - self._k) ** 3 + self._w_max
         # TCP-friendly region: emulate Reno's average growth rate.
-        rtt = self.srtt if self.srtt > 0 else self.base_rtt_s
         self._w_tcp += 3.0 * self.BETA / (2.0 - self.BETA) / max(self.cwnd, 1.0)
         target = max(target, self._w_tcp)
         if target > self.cwnd:
@@ -64,18 +64,50 @@ class CubicSender(TcpSender):
             self.cwnd += (target - self.cwnd) / max(self.cwnd, 1.0)
         else:
             self.cwnd += 0.01 / max(self.cwnd, 1.0)
-        del rtt
+
+    def on_ack_batch(self, packet: Packet, rtt_sample: float, segments: int) -> None:
+        """O(1) growth for a batch of ``segments`` acks.
+
+        The cubic target W(t) depends only on the epoch clock, not on
+        the ack count, so a batch evaluates it once and takes n steps of
+        the same spread toward it — clamped at the target, exactly where
+        n per-ack steps would converge.  The TCP-friendly floor advances
+        its Reno-emulation window by n acks' worth in one update.
+        """
+        if self.in_slow_start:
+            headroom = max(self.ssthresh - self.cwnd, 0.0)
+            ss_acks = min(float(segments), headroom)
+            self.cwnd += ss_acks
+            segments -= int(ss_acks)
+            if segments <= 0:
+                return
+        if self._epoch_start is None:
+            self._begin_epoch()
+        t = self.scheduler.now - (self._epoch_start or self.scheduler.now)
+        target = self.C * (t - self._k) ** 3 + self._w_max
+        self._w_tcp += segments * 3.0 * self.BETA / (2.0 - self.BETA) / max(self.cwnd, 1.0)
+        target = max(target, self._w_tcp)
+        if target > self.cwnd:
+            self.cwnd = min(
+                self.cwnd + segments * (target - self.cwnd) / max(self.cwnd, 1.0),
+                target,
+            )
+        else:
+            self.cwnd += segments * 0.01 / max(self.cwnd, 1.0)
 
     def on_loss(self, packet: Packet) -> None:
+        """Multiplicative decrease by BETA and start a new cubic epoch."""
         self._w_max = self.cwnd
         self.cwnd = max(self.cwnd * (1.0 - self.BETA), self.MIN_CWND)
         self.ssthresh = self.cwnd
         self._epoch_start = None
 
     def on_l4s_mark(self, packet: Packet) -> None:
-        # The proportional DCTCP cut, plus a cubic epoch reset: without
-        # it the old trajectory's target would immediately re-inflate the
-        # window and neuter the mark.
+        """The proportional DCTCP cut, plus a cubic epoch reset.
+
+        Without the reset the old trajectory's target would immediately
+        re-inflate the window and neuter the mark.
+        """
         self._w_max = self.cwnd
         super().on_l4s_mark(packet)
         self._epoch_start = None

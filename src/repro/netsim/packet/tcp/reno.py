@@ -23,11 +23,31 @@ class RenoSender(TcpSender):
     MIN_CWND = 2.0
 
     def on_ack(self, packet: Packet, rtt_sample: float) -> None:
+        """AIMD growth: +1 per ack in slow start, +1/cwnd afterwards."""
         if self.in_slow_start:
             self.cwnd += 1.0
         else:
             self.cwnd += 1.0 / max(self.cwnd, 1.0)
 
+    def on_ack_batch(self, packet: Packet, rtt_sample: float, segments: int) -> None:
+        """O(1) growth for a batch of ``segments`` acks.
+
+        Slow start adds one packet per ack; congestion avoidance adds
+        ``n/cwnd`` in a single step (the first-order form of n repeated
+        ``1/cwnd`` increments — the higher-order correction is O(n²/cwnd³)
+        and far below the batching tolerance).  A batch straddling the
+        slow-start exit splits at the threshold.
+        """
+        if self.in_slow_start:
+            headroom = max(self.ssthresh - self.cwnd, 0.0)
+            ss_acks = min(float(segments), headroom)
+            self.cwnd += ss_acks
+            segments -= int(ss_acks)
+            if segments <= 0:
+                return
+        self.cwnd += segments / max(self.cwnd, 1.0)
+
     def on_loss(self, packet: Packet) -> None:
+        """Multiplicative decrease: halve the window (floor MIN_CWND)."""
         self.ssthresh = max(self.cwnd * self.BETA, self.MIN_CWND)
         self.cwnd = self.ssthresh

@@ -57,6 +57,9 @@ def packet_arm(
     cross_traffic: Sequence[Any] | None = None,
     traffic_sources: Sequence[Any] | None = None,
     seed: int | None = None,
+    scheduler: str = "heap",
+    event_batching: bool = False,
+    batch_segments: int = 8,
 ) -> Any:
     """One packet-level simulation arm (a fixed set of flow configs).
 
@@ -65,6 +68,9 @@ def packet_arm(
     ``extra_queues``/``cross_traffic`` describe multi-bottleneck
     topologies and unmeasured background load; ``traffic_sources`` add
     dynamic churn (finite flows spawning and retiring at runtime).
+    ``scheduler`` selects the event engine (order-identical, never
+    changes results); ``event_batching``/``batch_segments`` enable the
+    approximate macro-packet fast path.
     """
     from repro.netsim.packet.simulation import simulate
 
@@ -82,6 +88,9 @@ def packet_arm(
         cross_traffic=list(cross_traffic) if cross_traffic else None,
         traffic_sources=list(traffic_sources) if traffic_sources else None,
         seed=seed,
+        scheduler=scheduler,
+        event_batching=event_batching,
+        batch_segments=batch_segments,
     )
 
 

@@ -88,10 +88,48 @@ class TestCli:
         assert "nothing to compare" in capsys.readouterr().out
 
 
+class TestThroughputDelta:
+    CURRENT = {"bench::fast": {"packets_per_s": 200.0, "events_per_s": 100.0}}
+    BASE = {"bench::fast": {"packets_per_s": 100.0, "events_per_s": 100.0}}
+
+    def test_speedup_is_current_over_baseline(self):
+        rows = checker.throughput_delta(self.CURRENT, self.BASE)
+        by_metric = {row["metric"]: row for row in rows}
+        assert by_metric["packets_per_s"]["speedup"] == pytest.approx(2.0)
+        assert by_metric["events_per_s"]["speedup"] == pytest.approx(1.0)
+
+    def test_one_sided_rows_have_no_speedup(self):
+        rows = checker.throughput_delta(self.CURRENT, {})
+        assert all(row["speedup"] is None for row in rows)
+        assert all(row["baseline"] is None for row in rows)
+
+    def test_formatting_mentions_the_rates(self):
+        out = checker.format_throughput_rows(
+            checker.throughput_delta(self.CURRENT, self.BASE)
+        )
+        assert "2.00x" in out
+        assert "bench::fast" in out
+
+    def test_schema1_exports_have_empty_throughput(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"schema": 1, "timings": {"t": 1.0}}))
+        assert checker.load_throughput(path) == {}
+
+    def test_github_summary_includes_both_tables(self, tmp_path, monkeypatch):
+        out = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(out))
+        timing_rows = checker.compare({"t": 1.0}, {"t": 0.9})
+        throughput_rows = checker.throughput_delta(self.CURRENT, self.BASE)
+        checker.write_github_summary(timing_rows, throughput_rows)
+        text = out.read_text()
+        assert "Benchmark timings vs baseline" in text
+        assert "Engine throughput vs baseline" in text
+
+
 class TestCommittedBaseline:
     def test_baseline_exists_with_expected_schema(self):
         payload = json.loads(BASELINE.read_text())
-        assert payload["schema"] == 1
+        assert payload["schema"] == 2
         assert payload["timings"]
         for nodeid, seconds in payload["timings"].items():
             assert nodeid.startswith("benchmarks/")
@@ -102,8 +140,23 @@ class TestCommittedBaseline:
         payload = json.loads(BASELINE.read_text())
         assert any("test_l4s.py" in nodeid for nodeid in payload["timings"])
 
+    def test_baseline_records_engine_throughput(self):
+        payload = json.loads(BASELINE.read_text())
+        throughput = payload["throughput"]
+        assert any("test_engine_throughput.py" in nodeid for nodeid in throughput)
+        for metrics in throughput.values():
+            assert set(metrics) >= {"packets_per_s", "events_per_s"}
+
     def test_baseline_loads_through_the_checker(self):
         timings = checker.load_timings(BASELINE)
         rows = checker.compare(timings, timings)
         assert rows and all(row["ratio"] == pytest.approx(1.0) for row in rows)
         assert not any(row["regressed"] for row in rows)
+        throughput = checker.load_throughput(BASELINE)
+        delta = checker.throughput_delta(throughput, throughput)
+        assert delta
+        assert all(
+            row["speedup"] == pytest.approx(1.0)
+            for row in delta
+            if row["current"]  # churn benchmarks record 0 packets/s
+        )

@@ -83,11 +83,20 @@ class ThroughputRecorder:
         ``packets`` counts (MSS-sized) segments sent, ``events`` the
         scheduler callbacks executed, over ``seconds`` of wall time.
         """
+        self.record_rates(seconds=seconds, packets=packets, events=events)
+
+    def record_rates(self, *, seconds: float, **counts: float) -> None:
+        """Record arbitrary named counts as ``<name>_per_s`` rates.
+
+        The generic form of :meth:`record`: fleet benchmarks report
+        ``units``, the fluid microbenchmarks ``steps``, the packet-engine
+        ones ``packets``/``events`` — ``check_regression.py`` renders
+        whatever names appear in the export.
+        """
         if seconds <= 0:
             raise ValueError("seconds must be positive")
         _THROUGHPUT[self.nodeid] = {
-            "packets_per_s": packets / seconds,
-            "events_per_s": events / seconds,
+            f"{name}_per_s": count / seconds for name, count in sorted(counts.items())
         }
 
 

@@ -12,6 +12,7 @@ Usage::
     repro topo_fq --quick            # does per-flow FQ eliminate the bias?
     repro topo_churn --quick         # bias under flow churn + switchback-vs-ramp
     repro topo_l4s --quick           # does L4S/DCTCP marking shrink the bias?
+    repro fleet --quick --jobs 4     # sharded fleet: bias vs cluster size
     repro sweep fig5 --replications 5 --jobs 4   # multi-seed mean ± CI
 
 Every figure command prints the same rows/series the corresponding
@@ -42,6 +43,7 @@ from repro.experiments import (
     run_cc_experiment,
     run_churn_experiment,
     run_connections_experiment,
+    run_fleet_experiment,
     run_fq_experiment,
     run_l4s_experiment,
     run_pacing_experiment,
@@ -79,6 +81,9 @@ TOPOLOGY_FIGURES = (
 #: Topology figures that consume the seed (dynamic-traffic randomness);
 #: the rest are deterministic and collapse to one sweep replication.
 SEEDED_TOPOLOGY_FIGURES = ("topo_churn",)
+
+#: The sharded packet/fluid fleet experiment (bias vs cluster size).
+FLEET_FIGURES = ("fleet",)
 
 
 def _make_cache(args: argparse.Namespace) -> ResultCache | None:
@@ -204,6 +209,28 @@ def _print_topology_figure(
             jobs=args.jobs,
             cache=_make_cache(args),
         )
+    print("\n".join(comparison.summary_lines()))
+
+
+def _print_fleet_figure(args: argparse.Namespace, parser: argparse.ArgumentParser) -> None:
+    from repro.netsim.fleet import GRANULARITIES
+
+    granularities = (
+        GRANULARITIES if args.granularity == "all" else (args.granularity,)
+    )
+    if args.units is not None and args.units < 1:
+        parser.error("--units must be positive")
+    if args.edges is not None and args.edges < 1:
+        parser.error("--edges must be positive")
+    comparison = run_fleet_experiment(
+        units=args.units,
+        edges=args.edges,
+        granularities=granularities,
+        quick=args.quick,
+        jobs=args.jobs,
+        cache=_make_cache(args),
+        seed=args.seed,
+    )
     print("\n".join(comparison.summary_lines()))
 
 
@@ -373,7 +400,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "figure",
-        choices=["list", "sweep", *LAB_FIGURES, *PAIRED_FIGURES, *TOPOLOGY_FIGURES],
+        choices=[
+            "list",
+            "sweep",
+            *LAB_FIGURES,
+            *PAIRED_FIGURES,
+            *TOPOLOGY_FIGURES,
+            *FLEET_FIGURES,
+        ],
         help="which figure to reproduce ('list' to enumerate, 'sweep' to replicate one)",
     )
     parser.add_argument(
@@ -444,6 +478,24 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--units",
+        type=int,
+        default=None,
+        help="fleet size for 'fleet' (default: 20000, or 10000 with --quick)",
+    )
+    parser.add_argument(
+        "--edges",
+        type=int,
+        default=None,
+        help="edge bottlenecks for 'fleet' (default: 200, or 100 with --quick)",
+    )
+    parser.add_argument(
+        "--granularity",
+        choices=["unit", "edge", "region", "all"],
+        default="all",
+        help="assignment granularity compared by 'fleet' (default: all three)",
+    )
+    parser.add_argument(
         "--cache",
         action="store_true",
         help="reuse results of unchanged runs from the on-disk cache",
@@ -468,6 +520,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         print("lab figures:        " + ", ".join(sorted(LAB_FIGURES)))
         print("paired-link figures: " + ", ".join(PAIRED_FIGURES))
         print("topology figures:    " + ", ".join(TOPOLOGY_FIGURES))
+        print("fleet figures:       " + ", ".join(FLEET_FIGURES))
         print("sweepable figures:   " + ", ".join(FIGURE_CELL_TASKS))
         return 0
     if args.figure == "sweep":
@@ -476,6 +529,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         _print_lab_figure(args.figure, args)
     elif args.figure in TOPOLOGY_FIGURES:
         _print_topology_figure(args.figure, args, parser)
+    elif args.figure in FLEET_FIGURES:
+        _print_fleet_figure(args, parser)
     else:
         _print_paired_figure(args.figure, args)
     return 0

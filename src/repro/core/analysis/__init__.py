@@ -29,6 +29,7 @@ from repro.core.analysis.interference import (
     InterferenceDiagnostics,
     detect_interference,
 )
+from repro.core.analysis.sketch import QuantileSketch, StreamingStats
 
 __all__ = [
     "HourlyAggregate",
@@ -45,4 +46,6 @@ __all__ = [
     "required_sample_size",
     "InterferenceDiagnostics",
     "detect_interference",
+    "QuantileSketch",
+    "StreamingStats",
 ]

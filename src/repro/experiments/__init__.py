@@ -21,6 +21,9 @@ substrate and returns the rows/series behind the paper's figures:
   bias under drop-tail vs classic-ECN CoDel vs the DualPI2/DCTCP L4S
   stack vs FQ-CoDel (signal-based vs scheduling-based sharing), plus a
   classic/L4S coexistence arm on one DualPI2 bottleneck.
+* :mod:`repro.experiments.lab_fleet` — the fleet experiment: the A/B
+  bias vs assignment cluster size (unit / edge / region) on the sharded
+  packet/fluid hybrid at five-figure unit counts.
 * :mod:`repro.experiments.baseline_validation` — the Section 4.1 baseline
   link-similarity table.
 * :mod:`repro.experiments.paired_link` — the Section 4 bitrate-capping
@@ -70,6 +73,11 @@ from repro.experiments.gradual_deployment import (
     GradualDeploymentOutcome,
     run_gradual_deployment,
 )
+from repro.experiments.lab_fleet import (
+    FleetBiasComparison,
+    FleetOutcome,
+    run_fleet_experiment,
+)
 
 __all__ = [
     "LabFigure",
@@ -88,6 +96,9 @@ __all__ = [
     "SwitchbackRampOutcome",
     "run_churn_experiment",
     "run_switchback_ramp_experiment",
+    "FleetBiasComparison",
+    "FleetOutcome",
+    "run_fleet_experiment",
     "L4sBiasComparison",
     "run_l4s_experiment",
     "PairedLinkExperiment",

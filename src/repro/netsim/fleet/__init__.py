@@ -1,0 +1,52 @@
+"""Sharded packet/fluid hybrid simulation of a fleet of edge networks.
+
+The scale layer over the packet engine: ``units`` senders spread across
+``edges`` independent packet-simulated bottlenecks, with the region
+aggregation links and backbone above them approximated by the vectorized
+fluid model.  Every shard returns only sufficient statistics (exact
+moments + mergeable quantile sketches), so fleet memory is O(cells),
+never O(units).
+
+* :mod:`repro.netsim.fleet.spec` — :class:`FleetSpec` geometry,
+  treatment assignment at unit / edge / region granularity.
+* :mod:`repro.netsim.fleet.hybrid` — the fluid coupling passes
+  (effective capacities, upstream loss, path delay).
+* :mod:`repro.netsim.fleet.shard` — one edge's packet simulation,
+  reduced to :class:`ShardStats` inside the worker.
+* :mod:`repro.netsim.fleet.aggregate` — the mergeable statistics.
+* :mod:`repro.netsim.fleet.engine` — ``run_fleet``: content-key dedupe,
+  parallel fan-out, deterministic pairwise merge.
+"""
+
+from repro.netsim.fleet.aggregate import (
+    ARMS,
+    FCT_CELL,
+    UNIT_METRICS,
+    CellStats,
+    ShardStats,
+    cell_key,
+)
+from repro.netsim.fleet.engine import FleetResult, run_fleet, shard_specs
+from repro.netsim.fleet.hybrid import FleetCoupling, couple_fleet
+from repro.netsim.fleet.shard import reduce_result, run_shard, shard_simulation
+from repro.netsim.fleet.spec import GRANULARITIES, FleetSpec, fleet_assignment
+
+__all__ = [
+    "ARMS",
+    "FCT_CELL",
+    "GRANULARITIES",
+    "UNIT_METRICS",
+    "CellStats",
+    "FleetCoupling",
+    "FleetResult",
+    "FleetSpec",
+    "ShardStats",
+    "cell_key",
+    "couple_fleet",
+    "fleet_assignment",
+    "reduce_result",
+    "run_fleet",
+    "run_shard",
+    "shard_simulation",
+    "shard_specs",
+]

@@ -1,0 +1,163 @@
+"""The fluid half of the packet/fluid hybrid: upstream congestion.
+
+Each edge bottleneck is packet-simulated in isolation; everything above
+it — the region aggregation link and the backbone — is approximated by
+the steady-state fluid model, vectorized with numpy so coupling a fleet
+of thousands of edges costs two water-fill passes, not a per-flow loop:
+
+1. **Region pass.**  Every edge offers its full capacity as demand on
+   its region's aggregation link; the link's capacity (a fraction
+   ``region_oversubscription`` of the summed member capacities) is split
+   by :func:`~repro.netsim.fluid.competition.weighted_water_fill` with
+   per-edge weights equal to their total connection counts — TCP's
+   per-connection fairness, the exact mechanism behind the paper's
+   multiple-connections treatment, now acting *between* edges.
+2. **Backbone pass.**  Region throughputs become demands on the
+   backbone; a second water-fill splits it by aggregate region weight,
+   and any squeeze is passed down to the region's edges proportionally.
+
+The result per edge is an *effective capacity* (the upstream-limited
+drain rate its packet simulation runs at), a small random-loss rate
+standing in for drops at the congested upstream queue (computed from the
+square-root loss kernel :func:`~repro.netsim.fluid.link.loss_probability`
+at the edge's per-connection rate), and extra path delay (core
+propagation plus a standing-queue term when the region link saturates).
+
+This is deliberately a one-shot fixed point, not an iterated one: edge
+demands are capacity-bounded constants (bulk senders always fill
+whatever they are given), so the two passes already yield the fluid
+equilibrium.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netsim.fluid.competition import weighted_water_fill
+from repro.netsim.fluid.link import loss_probability
+from repro.netsim.fleet.spec import FleetSpec
+
+__all__ = ["FleetCoupling", "couple_fleet"]
+
+#: Upstream drops are early losses, not the edge queue's own tail drops;
+#: cap the injected rate so shard TCP stacks stay in the recoverable
+#: fast-retransmit regime.
+MAX_BACKBONE_LOSS = 0.02
+
+#: Fraction of the square-root-model loss attributed to the upstream
+#: queue when it binds (the rest re-emerges at the shard's own queue,
+#: which drains at the squeezed effective capacity).
+BACKBONE_LOSS_SHARE = 0.5
+
+#: MSS of the shard simulations; the loss kernel is evaluated at the
+#: same segment size the packet engine uses.
+SHARD_MSS_BYTES = 1500
+
+
+@dataclass(frozen=True)
+class FleetCoupling:
+    """Per-edge upstream state computed by the fluid passes.
+
+    Attributes
+    ----------
+    effective_capacity_mbps:
+        Upstream-limited drain rate of each edge's bottleneck.
+    backbone_loss_rate:
+        Random early-loss rate injected on each edge's path, standing in
+        for drops at the binding upstream queue (0 when unconstrained).
+    extra_rtt_ms:
+        Additional two-way delay of each edge's paths: core propagation
+        plus the standing-queue term for saturated region links.
+    region_utilization:
+        Offered load over capacity per region link (> 1 means saturated).
+    backbone_utilization:
+        Offered load over capacity on the backbone.
+    """
+
+    effective_capacity_mbps: np.ndarray
+    backbone_loss_rate: np.ndarray
+    extra_rtt_ms: np.ndarray
+    region_utilization: np.ndarray
+    backbone_utilization: float
+
+    @property
+    def congested(self) -> bool:
+        """Whether any upstream link actually squeezed an edge."""
+        return bool((self.backbone_loss_rate > 0).any())
+
+
+def couple_fleet(spec: FleetSpec, edge_weights: np.ndarray) -> FleetCoupling:
+    """Run the two fluid passes for a fleet.
+
+    Parameters
+    ----------
+    spec:
+        The fleet configuration (geometry, capacities, oversubscription).
+    edge_weights:
+        Total competitive weight per edge: the summed connection counts
+        of its units.  This is how the treatment couples across shards —
+        treated edges carry more connections and win a bigger share of a
+        congested aggregation link.
+    """
+    edge_weights = np.asarray(edge_weights, dtype=float)
+    if edge_weights.shape != (spec.edges,):
+        raise ValueError(f"edge_weights must have shape ({spec.edges},)")
+    if (edge_weights <= 0).any():
+        raise ValueError("every edge needs positive weight (at least one unit)")
+
+    edge_capacity = np.full(spec.edges, spec.edge_capacity_mbps)
+    regions = np.array([spec.region_of(e) for e in range(spec.edges)])
+
+    # Region pass: water-fill each aggregation link over its member edges.
+    region_limited = np.empty(spec.edges)
+    region_capacity = np.empty(spec.regions)
+    region_offered = np.empty(spec.regions)
+    for r in range(spec.regions):
+        members = regions == r
+        capacity = spec.region_oversubscription * float(edge_capacity[members].sum())
+        region_capacity[r] = capacity
+        region_offered[r] = float(edge_capacity[members].sum())
+        region_limited[members] = weighted_water_fill(
+            capacity, edge_capacity[members], edge_weights[members]
+        )
+
+    # Backbone pass: water-fill the backbone over region throughputs,
+    # then pass any squeeze down to the member edges proportionally.
+    backbone_capacity = spec.backbone_oversubscription * float(region_capacity.sum())
+    region_demand = np.array(
+        [float(region_limited[regions == r].sum()) for r in range(spec.regions)]
+    )
+    region_weight = np.array(
+        [float(edge_weights[regions == r].sum()) for r in range(spec.regions)]
+    )
+    region_granted = weighted_water_fill(backbone_capacity, region_demand, region_weight)
+    with np.errstate(invalid="ignore"):
+        region_scale = np.where(region_demand > 0, region_granted / region_demand, 1.0)
+    effective = region_limited * region_scale[regions]
+
+    # Upstream loss: the square-root model at each squeezed edge's mean
+    # per-connection rate, over the full path RTT, half attributed to the
+    # upstream queue and capped to stay in the recoverable regime.
+    squeezed = effective < edge_capacity - 1e-9
+    edge_rtt = np.array([spec.edge_rtt_ms(e) for e in range(spec.edges)])
+    region_saturated = region_offered > region_capacity + 1e-9
+    extra_rtt = spec.backbone_rtt_ms + np.where(
+        region_saturated[regions], spec.backbone_queue_delay_ms, 0.0
+    )
+    per_connection = effective / edge_weights
+    p_model = loss_probability(
+        per_connection, rtt_ms=edge_rtt + extra_rtt, mtu_bytes=SHARD_MSS_BYTES
+    )
+    loss = np.where(
+        squeezed, np.minimum(BACKBONE_LOSS_SHARE * p_model, MAX_BACKBONE_LOSS), 0.0
+    )
+
+    return FleetCoupling(
+        effective_capacity_mbps=effective,
+        backbone_loss_rate=loss,
+        extra_rtt_ms=extra_rtt,
+        region_utilization=region_offered / region_capacity,
+        backbone_utilization=float(region_demand.sum()) / backbone_capacity,
+    )

@@ -15,11 +15,15 @@ steady-state model of how long-lived flows share a single bottleneck:
 """
 
 from repro.netsim.fluid.application import Application
-from repro.netsim.fluid.link import BottleneckLink
+from repro.netsim.fluid.link import BottleneckLink, loss_probability
 from repro.netsim.fluid.competition import (
     CompetitionModel,
     allocate_throughput,
+    allocate_throughput_reference,
     link_loss_rate,
+    link_loss_rate_reference,
+    weighted_water_fill,
+    weighted_water_fill_reference,
 )
 from repro.netsim.fluid.lab import (
     LabExperimentResult,
@@ -33,7 +37,12 @@ __all__ = [
     "BottleneckLink",
     "CompetitionModel",
     "allocate_throughput",
+    "allocate_throughput_reference",
     "link_loss_rate",
+    "link_loss_rate_reference",
+    "loss_probability",
+    "weighted_water_fill",
+    "weighted_water_fill_reference",
     "LabExperimentResult",
     "LabSweepResult",
     "run_lab_experiment",

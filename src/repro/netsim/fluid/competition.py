@@ -31,10 +31,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from collections.abc import Sequence
 
-from repro.netsim.fluid.application import Application
-from repro.netsim.fluid.link import BITS_PER_BYTE, BottleneckLink
+import numpy as np
 
-__all__ = ["CompetitionModel", "allocate_throughput", "link_loss_rate"]
+from repro.netsim.fluid.application import Application
+from repro.netsim.fluid.link import BottleneckLink
+
+__all__ = [
+    "CompetitionModel",
+    "allocate_throughput",
+    "allocate_throughput_reference",
+    "link_loss_rate",
+    "link_loss_rate_reference",
+    "weighted_water_fill",
+    "weighted_water_fill_reference",
+]
 
 
 @dataclass(frozen=True)
@@ -84,31 +94,61 @@ class CompetitionModel:
         return weight
 
 
-def _split_capacity(
-    link: BottleneckLink,
-    applications: Sequence[Application],
-    model: CompetitionModel,
-) -> tuple[float, float, int, float]:
-    """Split capacity between the BBR aggregate and the loss-based aggregate.
+def _validate(applications: Sequence[Application]) -> None:
+    """Shared argument validation for the allocation entry points."""
+    if not applications:
+        raise ValueError("at least one application is required")
+    ids = [a.app_id for a in applications]
+    if len(set(ids)) != len(ids):
+        raise ValueError("application ids must be unique")
 
-    Returns ``(bbr_capacity_mbps, loss_capacity_mbps, n_bbr_connections,
-    total_loss_weight)``.
+
+def _app_arrays(
+    applications: Sequence[Application], model: CompetitionModel
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Columnar view of an application list: the fluid model's working set.
+
+    Returns ``(connections, is_bbr, weights, paced)`` where ``weights`` is
+    each application's total competitive weight (connections x
+    per-connection weight) and BBR applications carry weight 0.
     """
-    n_bbr_connections = sum(a.connections for a in applications if a.cc == "bbr")
-    loss_weight = sum(
-        a.connections * model.connection_weight(a)
-        for a in applications
-        if a.is_loss_based
-    )
-    capacity = link.capacity_mbps
-    if n_bbr_connections > 0 and loss_weight > 0:
-        bbr_capacity = capacity * model.bbr_aggregate_share
-        loss_capacity = capacity - bbr_capacity
-    elif n_bbr_connections > 0:
-        bbr_capacity, loss_capacity = capacity, 0.0
+    n = len(applications)
+    connections = np.empty(n, dtype=float)
+    is_bbr = np.empty(n, dtype=bool)
+    paced = np.empty(n, dtype=bool)
+    cubic = np.empty(n, dtype=bool)
+    for i, app in enumerate(applications):
+        connections[i] = app.connections
+        is_bbr[i] = app.cc == "bbr"
+        paced[i] = app.paced
+        cubic[i] = app.cc == "cubic"
+    per_connection = np.ones(n, dtype=float)
+    per_connection[cubic] *= model.cubic_weight
+    per_connection[paced & ~is_bbr] *= model.paced_weight
+    weights = np.where(is_bbr, 0.0, connections * per_connection)
+    return connections, is_bbr, weights, paced
+
+
+def _allocate_arrays(
+    capacity_mbps: float,
+    connections: np.ndarray,
+    is_bbr: np.ndarray,
+    weights: np.ndarray,
+    model: CompetitionModel,
+) -> np.ndarray:
+    """Vectorized aggregate split + weighted shares; one bottleneck link."""
+    n_bbr = float(connections[is_bbr].sum())
+    loss_weight = float(weights.sum())
+    if n_bbr > 0 and loss_weight > 0:
+        bbr_capacity = capacity_mbps * model.bbr_aggregate_share
+        loss_capacity = capacity_mbps - bbr_capacity
+    elif n_bbr > 0:
+        bbr_capacity, loss_capacity = capacity_mbps, 0.0
     else:
-        bbr_capacity, loss_capacity = 0.0, capacity
-    return bbr_capacity, loss_capacity, n_bbr_connections, loss_weight
+        bbr_capacity, loss_capacity = 0.0, capacity_mbps
+    bbr_share = connections * (bbr_capacity / n_bbr) if n_bbr else connections * 0.0
+    loss_share = weights * (loss_capacity / loss_weight) if loss_weight else weights * 0.0
+    return np.where(is_bbr, bbr_share, loss_share)
 
 
 def allocate_throughput(
@@ -122,17 +162,41 @@ def allocate_throughput(
     loss-based aggregate (see :class:`CompetitionModel`), then divides each
     aggregate among its connections in proportion to their competitive
     weights, and finally sums an application's connections.
+
+    The inner step is numpy-vectorized (no per-application Python loop);
+    :func:`allocate_throughput_reference` keeps the scalar path, pinned
+    equal to this one by tests and raced against it in ``benchmarks/``.
     """
-    if not applications:
-        raise ValueError("at least one application is required")
-    ids = [a.app_id for a in applications]
-    if len(set(ids)) != len(ids):
-        raise ValueError("application ids must be unique")
+    _validate(applications)
+    model = model or CompetitionModel()
+    connections, is_bbr, weights, _ = _app_arrays(applications, model)
+    shares = _allocate_arrays(link.capacity_mbps, connections, is_bbr, weights, model)
+    return {app.app_id: float(share) for app, share in zip(applications, shares)}
+
+
+def allocate_throughput_reference(
+    link: BottleneckLink,
+    applications: Sequence[Application],
+    model: CompetitionModel | None = None,
+) -> dict[int, float]:
+    """Scalar (per-application Python loop) reference for :func:`allocate_throughput`."""
+    _validate(applications)
     model = model or CompetitionModel()
 
-    bbr_capacity, loss_capacity, n_bbr, loss_weight = _split_capacity(
-        link, applications, model
+    n_bbr = sum(a.connections for a in applications if a.cc == "bbr")
+    loss_weight = sum(
+        a.connections * model.connection_weight(a)
+        for a in applications
+        if a.is_loss_based
     )
+    capacity = link.capacity_mbps
+    if n_bbr > 0 and loss_weight > 0:
+        bbr_capacity = capacity * model.bbr_aggregate_share
+        loss_capacity = capacity - bbr_capacity
+    elif n_bbr > 0:
+        bbr_capacity, loss_capacity = capacity, 0.0
+    else:
+        bbr_capacity, loss_capacity = 0.0, capacity
 
     throughput: dict[int, float] = {}
     for app in applications:
@@ -160,20 +224,51 @@ def link_loss_rate(
     with the treatment allocation.
 
     The rate is the TCP loss-throughput relationship evaluated at the mean
-    per-connection rate of the loss-based aggregate, scaled down as the
-    fraction of paced bytes grows (pacing removes burst drops).  When only
-    BBR traffic is present, the loss rate is BBR's ~2x-BDP overshoot loss,
+    per-connection rate of the loss-based aggregate (the shared kernel
+    :meth:`BottleneckLink.loss_probability`), scaled down as the fraction
+    of paced bytes grows (pacing removes burst drops).  When only BBR
+    traffic is present, the loss rate is BBR's ~2x-BDP overshoot loss,
     which is small for a 1-BDP buffer.
     """
-    if not applications:
-        raise ValueError("at least one application is required")
+    _validate(applications)
     model = model or CompetitionModel()
 
-    throughput = allocate_throughput(link, applications, model)
-    loss_based = [a for a in applications if a.is_loss_based]
-    if not loss_based:
+    connections, is_bbr, weights, paced = _app_arrays(applications, model)
+    shares = _allocate_arrays(link.capacity_mbps, connections, is_bbr, weights, model)
+    loss_based = ~is_bbr
+    if not loss_based.any():
         # BBR-only: losses come from BBR's periodic probing overshooting the
         # 1-BDP buffer; small and independent of the number of flows.
+        return 0.001
+
+    total_loss_connections = float(connections[loss_based].sum())
+    total_loss_throughput = float(shares[loss_based].sum())
+    per_connection_mbps = total_loss_throughput / total_loss_connections
+    if per_connection_mbps <= 0:
+        return 1.0
+
+    p = link.loss_probability(per_connection_mbps)
+
+    paced_bytes = float(shares[loss_based & paced].sum())
+    paced_fraction = paced_bytes / total_loss_throughput if total_loss_throughput else 0.0
+    burst_factor = model.pacing_loss_floor + (1.0 - model.pacing_loss_floor) * (
+        1.0 - paced_fraction
+    )
+    return p * burst_factor
+
+
+def link_loss_rate_reference(
+    link: BottleneckLink,
+    applications: Sequence[Application],
+    model: CompetitionModel | None = None,
+) -> float:
+    """Scalar (per-application Python loop) reference for :func:`link_loss_rate`."""
+    _validate(applications)
+    model = model or CompetitionModel()
+
+    throughput = allocate_throughput_reference(link, applications, model)
+    loss_based = [a for a in applications if a.is_loss_based]
+    if not loss_based:
         return 0.001
 
     total_loss_connections = sum(a.connections for a in loss_based)
@@ -182,12 +277,7 @@ def link_loss_rate(
     if per_connection_mbps <= 0:
         return 1.0
 
-    rtt_s = link.base_rtt_ms / 1000.0
-    segment_bits = link.mtu_bytes * BITS_PER_BYTE
-    rate_bps = per_connection_mbps * 1e6
-    # Square-root model: rate = S/RTT * sqrt(3/2p)  =>  p = 1.5 (S/(RTT r))^2
-    p = 1.5 * (segment_bits / (rtt_s * rate_bps)) ** 2
-    p = min(p, 1.0)
+    p = link.loss_probability(per_connection_mbps)
 
     paced_bytes = sum(throughput[a.app_id] for a in loss_based if a.paced)
     paced_fraction = paced_bytes / total_loss_throughput if total_loss_throughput else 0.0
@@ -195,3 +285,80 @@ def link_loss_rate(
         1.0 - paced_fraction
     )
     return p * burst_factor
+
+
+def weighted_water_fill(
+    capacity: float,
+    demands: np.ndarray,
+    weights: np.ndarray,
+) -> np.ndarray:
+    """Weighted max-min fair allocation of ``capacity`` among ``demands``.
+
+    Entity ``i`` receives ``min(demand_i, level * weight_i)`` where the
+    water level is set so allocations sum to ``capacity`` (or every demand
+    is met).  This is the fluid step of the fleet hybrid: one call shares a
+    region aggregation link among its member edges, a second shares the
+    backbone among regions — each call is O(n log n) numpy with no Python
+    loop.  :func:`weighted_water_fill_reference` is the scalar reference.
+    """
+    demands = np.asarray(demands, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    if demands.shape != weights.shape:
+        raise ValueError("demands and weights must have the same shape")
+    if (demands < 0).any() or (weights <= 0).any():
+        raise ValueError("demands must be >= 0 and weights > 0")
+    if capacity <= 0:
+        return np.zeros_like(demands)
+    total_demand = float(demands.sum())
+    if total_demand <= capacity:
+        return demands.copy()
+
+    # Sort by saturation level demand/weight; walk the breakpoints to find
+    # where the water level settles, all in prefix-sum form.
+    ratio = demands / weights
+    order = np.argsort(ratio, kind="stable")
+    d_sorted = demands[order]
+    w_sorted = weights[order]
+    ratio_sorted = ratio[order]
+    demand_before = np.concatenate([[0.0], np.cumsum(d_sorted)[:-1]])
+    weight_after = weights.sum() - np.concatenate([[0.0], np.cumsum(w_sorted)[:-1]])
+    # level_k: water level if exactly the first k entities saturate.
+    with np.errstate(divide="ignore"):
+        level_k = (capacity - demand_before) / weight_after
+    # The first breakpoint whose level no longer saturates its own entity.
+    unsaturated = level_k <= ratio_sorted
+    k = int(np.argmax(unsaturated)) if unsaturated.any() else len(demands)
+    level = level_k[k] if k < len(demands) else ratio_sorted[-1]
+    return np.minimum(demands, level * weights)
+
+
+def weighted_water_fill_reference(
+    capacity: float,
+    demands: Sequence[float],
+    weights: Sequence[float],
+) -> np.ndarray:
+    """Iterative scalar water-filling, the reference for :func:`weighted_water_fill`."""
+    demands = np.asarray(demands, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    if demands.shape != weights.shape:
+        raise ValueError("demands and weights must have the same shape")
+    if (demands < 0).any() or (weights <= 0).any():
+        raise ValueError("demands must be >= 0 and weights > 0")
+    allocation = np.zeros_like(demands)
+    if capacity <= 0:
+        return allocation
+    remaining = float(capacity)
+    active = [i for i in range(len(demands)) if demands[i] > 0]
+    while active and remaining > 1e-12:
+        active_weight = sum(float(weights[i]) for i in active)
+        level = remaining / active_weight
+        saturated = [i for i in active if demands[i] - allocation[i] <= level * weights[i]]
+        if not saturated:
+            for i in active:
+                allocation[i] += level * weights[i]
+            break
+        for i in saturated:
+            remaining -= float(demands[i] - allocation[i])
+            allocation[i] = float(demands[i])
+        active = [i for i in active if i not in saturated]
+    return allocation

@@ -10,10 +10,42 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["BottleneckLink"]
+import numpy as np
+
+__all__ = ["BottleneckLink", "loss_probability"]
 
 #: Bits per byte, used in BDP calculations.
 BITS_PER_BYTE = 8
+
+
+def loss_probability(
+    per_connection_mbps: "float | np.ndarray",
+    *,
+    rtt_ms: "float | np.ndarray",
+    mtu_bytes: "float | np.ndarray",
+):
+    """Square-root TCP loss-throughput relationship, array-capable.
+
+    A loss-based connection sustaining rate ``r`` over round-trip time
+    ``RTT`` with segment size ``S`` requires a loss probability of about
+    ``p = 1.5 (S / (RTT r))^2`` (``rate = S/RTT * sqrt(3/2p)`` inverted).
+    Accepts scalars or numpy arrays (broadcast together); rates at or
+    below zero map to a loss probability of 1, and the result is clipped
+    to [0, 1].
+
+    This is the shared kernel behind :func:`repro.netsim.fluid.competition.
+    link_loss_rate` (one link, scalar) and the fleet hybrid's backbone
+    coupling (thousands of edges, vectorized).
+    """
+    rate_bps = np.asarray(per_connection_mbps, dtype=float) * 1e6
+    rtt_s = np.asarray(rtt_ms, dtype=float) / 1000.0
+    segment_bits = np.asarray(mtu_bytes, dtype=float) * BITS_PER_BYTE
+    with np.errstate(divide="ignore", invalid="ignore"):
+        p = 1.5 * (segment_bits / (rtt_s * rate_bps)) ** 2
+    p = np.where(rate_bps > 0.0, np.minimum(p, 1.0), 1.0)
+    if p.ndim == 0:
+        return float(p)
+    return p
 
 
 @dataclass(frozen=True)
@@ -80,3 +112,13 @@ class BottleneckLink:
         if n_flows <= 0:
             raise ValueError("n_flows must be positive")
         return self.capacity_mbps / n_flows
+
+    def loss_probability(self, per_connection_mbps: float) -> float:
+        """Loss probability sustaining the given per-connection rate here.
+
+        Evaluates the square-root TCP loss-throughput relationship with
+        this link's RTT and MTU; see :func:`loss_probability`.
+        """
+        return loss_probability(
+            per_connection_mbps, rtt_ms=self.base_rtt_ms, mtu_bytes=self.mtu_bytes
+        )

@@ -243,12 +243,12 @@ class Network:
         ``queue_params`` pins its own ``seed``.  Inert when no path has a
         loss segment and the discipline draws no randomness.
     scheduler:
-        Event-scheduler implementation: ``"heap"`` (default), ``"calendar"``
-        or ``"auto"`` (the calendar queue when the event horizon — one
-        base RTT at MSS serialization ticks — fits its geometry; see
-        :func:`repro.netsim.packet.engine.make_scheduler`).  Both
-        schedulers deliver the identical event order, so this knob never
-        changes results, only speed.
+        Event-scheduler implementation: ``"auto"`` (default — the
+        calendar queue when the event horizon, one base RTT at MSS
+        serialization ticks, fits its geometry; the heap otherwise; see
+        :func:`repro.netsim.packet.engine.make_scheduler`), ``"heap"``
+        or ``"calendar"``.  Both schedulers deliver the identical event
+        order, so this knob never changes results, only speed.
     event_batching:
         Default-off fast path: when True, senders coalesce up to
         ``batch_segments`` MSS segments into one macro-packet, so a
@@ -271,7 +271,7 @@ class Network:
         queue_discipline: str = "droptail",
         queue_params: dict[str, Any] | None = None,
         seed: int | None = None,
-        scheduler: str = "heap",
+        scheduler: str = "auto",
         event_batching: bool = False,
         batch_segments: int = 8,
     ):

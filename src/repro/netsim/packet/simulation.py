@@ -235,7 +235,7 @@ def simulate(
     cross_traffic: Sequence[FlowConfig] | None = None,
     traffic_sources: Sequence[TrafficSource] | None = None,
     seed: int | None = None,
-    scheduler: str = "heap",
+    scheduler: str = "auto",
     event_batching: bool = False,
     batch_segments: int = 8,
 ) -> PacketSimResult:
@@ -289,8 +289,9 @@ def simulate(
         source's arrival/size draws; inert for the default loss-free,
         churn-free drop-tail topology.
     scheduler:
-        Event-scheduler implementation: ``"heap"`` (default),
-        ``"calendar"`` or ``"auto"``.  Both deliver the identical event
+        Event-scheduler implementation: ``"auto"`` (default — picks the
+        calendar queue when the workload suits it, the heap otherwise),
+        ``"heap"`` or ``"calendar"``.  All deliver the identical event
         order, so this knob changes speed, never results.
     event_batching:
         Default-off fast path: coalesce up to ``batch_segments`` MSS

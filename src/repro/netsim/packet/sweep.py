@@ -127,7 +127,7 @@ def run_packet_sweep(
     rtt_ms: Sequence[float] | None = None,
     loss_rate: float = 0.0,
     seed: int | None = None,
-    scheduler: str = "heap",
+    scheduler: str = "auto",
     event_batching: bool = False,
     batch_segments: int = 8,
     jobs: int = 1,
@@ -183,8 +183,8 @@ def run_packet_sweep(
         inert-knob rule, so replications of deterministic sweeps share
         one cache entry.
     scheduler:
-        Event-scheduler implementation (``"heap"``/``"calendar"``/
-        ``"auto"``).  Order-identical by contract, so results never
+        Event-scheduler implementation (``"auto"`` (default)/``"heap"``/
+        ``"calendar"``).  Order-identical by contract, so results never
         depend on it; like every knob it enters the content key only
         when it deviates from the default.
     event_batching, batch_segments:
@@ -223,7 +223,7 @@ def run_packet_sweep(
         extra_params["cross_traffic"] = tuple(cross_traffic)
     if traffic_sources:
         extra_params["traffic_sources"] = tuple(traffic_sources)
-    if scheduler != "heap":
+    if scheduler != "auto":
         extra_params["scheduler"] = scheduler
     if event_batching:
         # Batching approximates the unbatched traces, so batched and

@@ -57,7 +57,7 @@ def packet_arm(
     cross_traffic: Sequence[Any] | None = None,
     traffic_sources: Sequence[Any] | None = None,
     seed: int | None = None,
-    scheduler: str = "heap",
+    scheduler: str = "auto",
     event_batching: bool = False,
     batch_segments: int = 8,
 ) -> Any:
@@ -91,6 +91,44 @@ def packet_arm(
         scheduler=scheduler,
         event_batching=event_batching,
         batch_segments=batch_segments,
+    )
+
+
+@register_task("fleet.shard_arm")
+def fleet_shard_arm(
+    treated_mask: Sequence[bool],
+    treatment_connections: int,
+    control_connections: int,
+    capacity_mbps: float,
+    rtt_ms: float,
+    loss_rate: float,
+    buffer_bdp: float,
+    duration_s: float,
+    warmup_s: float,
+    churn_per_s: float = 0.0,
+    sketch_compression: int = 100,
+    seed: int | None = None,
+) -> Any:
+    """One fleet shard: an edge-bottleneck packet sim reduced to statistics.
+
+    Returns a :class:`~repro.netsim.fleet.aggregate.ShardStats`, never the
+    raw simulation result — the O(cells) contract of the fleet engine.
+    """
+    from repro.netsim.fleet.shard import run_shard
+
+    return run_shard(
+        tuple(bool(t) for t in treated_mask),
+        treatment_connections=treatment_connections,
+        control_connections=control_connections,
+        capacity_mbps=capacity_mbps,
+        rtt_ms=rtt_ms,
+        loss_rate=loss_rate,
+        buffer_bdp=buffer_bdp,
+        duration_s=duration_s,
+        warmup_s=warmup_s,
+        churn_per_s=churn_per_s,
+        sketch_compression=sketch_compression,
+        seed=seed,
     )
 
 
@@ -205,6 +243,7 @@ FIGURE_CELL_TASKS: tuple[str, ...] = (
     "topo_fq",
     "topo_churn",
     "topo_l4s",
+    "fleet",
 )
 
 
@@ -229,6 +268,10 @@ def figure_cells(
         # Unlike the other topology figures, churn consumes the seed:
         # arrival times and flow sizes are drawn from it.
         return _churn_cells(quick=quick, seed=seed)
+    if figure == "fleet":
+        # The fleet consumes the seed too: the treatment assignment and
+        # every squeezed shard's loss stream derive from it.
+        return _fleet_cells(quick=quick, seed=seed)
     if figure in ("topo_rtt", "topo_aqm", "topo_parking", "topo_fq", "topo_l4s"):
         return _topology_cells(figure, quick=quick)
     if figure in FIGURE_CELL_TASKS:
@@ -328,6 +371,20 @@ def _churn_cells(quick: bool, seed: int | None) -> dict[str, float]:
             ("p99", stats.p99_fct_s),
         ):
             cells[f"fct_{name}_s:churn{rate:g}"] = 0.0 if value is None else value
+    return cells
+
+
+def _fleet_cells(quick: bool, seed: int | None) -> dict[str, float]:
+    from repro.experiments.lab_fleet import run_fleet_experiment
+
+    comparison = run_fleet_experiment(quick=quick, seed=0 if seed is None else seed)
+    cells: dict[str, float] = {"tte_throughput_mbps": comparison.truth_tte}
+    for granularity, outcome in comparison.outcomes.items():
+        cells[f"ab_throughput_mbps@0.5:{granularity}"] = outcome.ab_estimate()
+        cells[f"bias_throughput@0.5:{granularity}"] = comparison.bias(granularity)
+        cells[f"p50_treated_mbps:{granularity}"] = outcome.result.quantile(
+            "treated", "throughput_mbps", 0.5
+        )
     return cells
 
 

@@ -1,0 +1,93 @@
+"""Tests for the fleet experiment: bias vs assignment cluster size."""
+
+import pytest
+
+from repro.experiments.lab_fleet import (
+    DEFAULT_FLEET,
+    QUICK_FLEET,
+    run_fleet_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    # A reduced fleet shaped like the real one (oversubscribed regions,
+    # uncongested backbone) but small enough for the test suite.
+    return run_fleet_experiment(units=400, edges=8, quick=True, seed=1)
+
+
+class TestFleetExperiment:
+    def test_all_granularities_reported(self, comparison):
+        assert comparison.granularities() == ("unit", "edge", "region")
+        for granularity in comparison.granularities():
+            outcome = comparison.outcomes[granularity]
+            assert outcome.result.stats.units == 400
+            assert outcome.result.stats.shards == 8
+
+    def test_cluster_sizes_are_monotone(self, comparison):
+        sizes = [
+            comparison.outcomes[g].cluster_size for g in comparison.granularities()
+        ]
+        assert sizes == sorted(sizes)
+        assert sizes[0] == 1
+
+    def test_true_tte_is_negligible(self, comparison):
+        # The paper's central point at fleet scale: when *everyone* opens
+        # more connections, nobody gains — the counterfactual fleets
+        # split the same capacities the same way.
+        assert abs(comparison.truth_tte) < 0.03
+
+    def test_bias_shrinks_as_clusters_grow(self, comparison):
+        unit = comparison.bias("unit")
+        edge = comparison.bias("edge")
+        region = comparison.bias("region")
+        # Unit-level assignment puts both arms on every shared bottleneck
+        # (maximum interference); edge-level leaves only the region-link
+        # water-fill coupling; region-level only the uncongested backbone.
+        assert unit > edge + 0.05
+        assert edge > abs(region) + 0.05
+        assert abs(region) < 0.03
+
+    def test_unit_bias_is_the_paper_headline(self, comparison):
+        # A/B at unit granularity reports a solid per-unit win for a
+        # treatment whose true fleet-wide effect is ~zero.
+        assert comparison.outcomes["unit"].ab_estimate() > 0.1
+
+    def test_summary_lines_mention_the_moving_parts(self, comparison):
+        text = "\n".join(comparison.summary_lines())
+        assert "400 units on 8 edge bottlenecks" in text
+        assert "ground-truth TTE" in text
+        for granularity in ("unit", "edge", "region"):
+            assert granularity in text
+        assert "distinct shard simulations" in text
+
+    def test_dedupe_keeps_fleet_cost_below_shard_count(self, comparison):
+        # 5 fleets x 8 edges = 40 shard specs; the congested default
+        # consumes seeds so dedupe cannot collapse within a fleet, but
+        # the count must never exceed the spec total.
+        assert comparison.unique_sims <= 40
+
+
+class TestFleetExperimentValidation:
+    def test_rejects_empty_or_unknown_granularities(self):
+        with pytest.raises(ValueError):
+            run_fleet_experiment(units=40, edges=4, granularities=())
+        with pytest.raises(ValueError):
+            run_fleet_experiment(units=40, edges=4, granularities=("galaxy",))
+        with pytest.raises(ValueError):
+            run_fleet_experiment(units=40, edges=4, granularities=("unit", "unit"))
+
+    def test_scale_presets_meet_the_ci_contract(self):
+        # The CI smoke run must simulate >= 10,000 units across >= 100
+        # edge shards even in --quick mode.
+        assert QUICK_FLEET.units >= 10_000
+        assert QUICK_FLEET.edges >= 100
+        assert DEFAULT_FLEET.units > QUICK_FLEET.units
+        assert DEFAULT_FLEET.edges > QUICK_FLEET.edges
+
+    def test_single_granularity_runs_standalone(self):
+        comparison = run_fleet_experiment(
+            units=60, edges=6, granularities=("edge",), quick=True, seed=2
+        )
+        assert comparison.granularities() == ("edge",)
+        assert "edge" in comparison.outcomes

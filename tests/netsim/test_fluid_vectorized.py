@@ -1,0 +1,171 @@
+"""Pin the vectorized fluid kernels against their scalar references."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.netsim.fluid import (
+    Application,
+    BottleneckLink,
+    CompetitionModel,
+    allocate_throughput,
+    allocate_throughput_reference,
+    link_loss_rate,
+    link_loss_rate_reference,
+    loss_probability,
+    weighted_water_fill,
+    weighted_water_fill_reference,
+)
+
+LINK = BottleneckLink()
+
+
+def _random_apps(seed: int, n: int) -> list[Application]:
+    """A deterministic mixed-population application list."""
+    rng = random.Random(f"fluid-vec:{seed}")
+    apps = []
+    for i in range(n):
+        apps.append(
+            Application(
+                app_id=i,
+                cc=rng.choice(["reno", "cubic", "bbr"]),
+                connections=rng.randint(1, 4),
+                paced=rng.random() < 0.3,
+            )
+        )
+    return apps
+
+
+MIXES = {
+    "loss_only": [Application(0, connections=2), Application(1), Application(2, cc="cubic")],
+    "bbr_only": [Application(0, cc="bbr"), Application(1, cc="bbr", connections=3)],
+    "mixed": [
+        Application(0, cc="bbr", connections=2),
+        Application(1, connections=2, paced=True),
+        Application(2, cc="cubic"),
+    ],
+    "paced_mix": [Application(0, paced=True), Application(1), Application(2, paced=True)],
+}
+
+
+class TestAllocationPinnedToScalar:
+    @pytest.mark.parametrize("name", sorted(MIXES))
+    def test_named_mixes(self, name):
+        apps = MIXES[name]
+        fast = allocate_throughput(LINK, apps)
+        slow = allocate_throughput_reference(LINK, apps)
+        assert fast.keys() == slow.keys()
+        for app_id in fast:
+            assert fast[app_id] == pytest.approx(slow[app_id], rel=1e-12)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_populations(self, seed):
+        apps = _random_apps(seed, n=50)
+        model = CompetitionModel(paced_weight=0.6, bbr_aggregate_share=0.35)
+        fast = allocate_throughput(LINK, apps, model)
+        slow = allocate_throughput_reference(LINK, apps, model)
+        for app_id in fast:
+            assert fast[app_id] == pytest.approx(slow[app_id], rel=1e-12)
+
+    def test_validation_matches_reference(self):
+        with pytest.raises(ValueError):
+            allocate_throughput(LINK, [])
+        with pytest.raises(ValueError):
+            allocate_throughput(LINK, [Application(0), Application(0)])
+
+
+class TestLossRatePinnedToScalar:
+    @pytest.mark.parametrize("name", sorted(MIXES))
+    def test_named_mixes(self, name):
+        apps = MIXES[name]
+        link = BottleneckLink(capacity_gbps=0.05)
+        assert link_loss_rate(link, apps) == pytest.approx(
+            link_loss_rate_reference(link, apps), rel=1e-12
+        )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_populations(self, seed):
+        apps = _random_apps(seed + 100, n=40)
+        link = BottleneckLink(capacity_gbps=0.2)
+        assert link_loss_rate(link, apps) == pytest.approx(
+            link_loss_rate_reference(link, apps), rel=1e-12
+        )
+
+
+class TestLossProbabilityKernel:
+    def test_scalar_matches_inline_formula(self):
+        link = BottleneckLink()
+        rate = 500.0
+        expected = 1.5 * (
+            link.mtu_bytes * 8 / ((link.base_rtt_ms / 1000.0) * rate * 1e6)
+        ) ** 2
+        assert link.loss_probability(rate) == pytest.approx(expected, rel=1e-12)
+
+    def test_array_broadcast(self):
+        rates = np.array([0.5, 5.0, 50.0])
+        rtts = np.array([1.0, 10.0, 100.0])
+        result = loss_probability(rates, rtt_ms=rtts, mtu_bytes=1500)
+        assert result.shape == (3,)
+        for i in range(3):
+            assert result[i] == pytest.approx(
+                loss_probability(float(rates[i]), rtt_ms=float(rtts[i]), mtu_bytes=1500)
+            )
+
+    def test_clipping(self):
+        assert loss_probability(0.0, rtt_ms=1.0, mtu_bytes=1500) == 1.0
+        assert loss_probability(1e-9, rtt_ms=1000.0, mtu_bytes=9000) == 1.0
+        assert loss_probability(1e9, rtt_ms=1.0, mtu_bytes=1500) < 1e-10
+
+
+class TestWeightedWaterFill:
+    def _random_case(self, seed: int, n: int):
+        rng = random.Random(f"waterfill:{seed}")
+        demands = np.array([rng.uniform(0.0, 100.0) for _ in range(n)])
+        weights = np.array([rng.uniform(0.5, 4.0) for _ in range(n)])
+        capacity = rng.uniform(0.1, 1.2) * float(demands.sum())
+        return capacity, demands, weights
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_pinned_to_scalar_reference(self, seed):
+        capacity, demands, weights = self._random_case(seed, n=64)
+        fast = weighted_water_fill(capacity, demands, weights)
+        slow = weighted_water_fill_reference(capacity, demands, weights)
+        np.testing.assert_allclose(fast, slow, rtol=1e-9, atol=1e-9)
+
+    def test_conservation_and_demand_cap(self):
+        capacity, demands, weights = self._random_case(99, n=128)
+        alloc = weighted_water_fill(capacity, demands, weights)
+        assert float(alloc.sum()) == pytest.approx(min(capacity, float(demands.sum())))
+        assert (alloc <= demands + 1e-9).all()
+        assert (alloc >= 0).all()
+
+    def test_uncongested_meets_all_demands(self):
+        demands = np.array([10.0, 20.0, 30.0])
+        alloc = weighted_water_fill(100.0, demands, np.ones(3))
+        np.testing.assert_allclose(alloc, demands)
+
+    def test_weights_shape_shares(self):
+        # Unsaturated entities split in proportion to weight.
+        demands = np.array([1000.0, 1000.0])
+        alloc = weighted_water_fill(90.0, demands, np.array([2.0, 1.0]))
+        np.testing.assert_allclose(alloc, [60.0, 30.0])
+
+    def test_saturated_entity_frees_capacity(self):
+        demands = np.array([5.0, 1000.0, 1000.0])
+        alloc = weighted_water_fill(105.0, demands, np.ones(3))
+        np.testing.assert_allclose(alloc, [5.0, 50.0, 50.0])
+
+    def test_zero_capacity(self):
+        alloc = weighted_water_fill(0.0, np.array([1.0, 2.0]), np.ones(2))
+        np.testing.assert_allclose(alloc, [0.0, 0.0])
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            weighted_water_fill(1.0, np.array([1.0]), np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            weighted_water_fill(1.0, np.array([-1.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            weighted_water_fill(1.0, np.array([1.0]), np.array([0.0]))

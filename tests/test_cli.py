@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import (
+    FLEET_FIGURES,
     LAB_FIGURES,
     PAIRED_FIGURES,
     TOPOLOGY_FIGURES,
@@ -14,7 +15,12 @@ from repro.cli import (
 class TestParser:
     def test_known_figures_accepted(self):
         parser = build_parser()
-        for name in list(LAB_FIGURES) + list(PAIRED_FIGURES) + list(TOPOLOGY_FIGURES):
+        for name in (
+            list(LAB_FIGURES)
+            + list(PAIRED_FIGURES)
+            + list(TOPOLOGY_FIGURES)
+            + list(FLEET_FIGURES)
+        ):
             args = parser.parse_args([name])
             assert args.figure == name
 
@@ -45,6 +51,7 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "fig2a" in out
         assert "fig5" in out
+        assert "fleet" in out
 
     def test_lab_figure_command(self, capsys):
         assert main(["fig2a"]) == 0
@@ -141,6 +148,31 @@ class TestCommands:
             main(["topo_parking", "--quick", "--segments", "3"])
         assert "--segments" in capsys.readouterr().err
 
+    def test_fleet_command_small(self, capsys):
+        argv = ["fleet", "--quick", "--units", "120", "--edges", "6",
+                "--granularity", "edge", "--seed", "2"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "120 units on 6 edge bottlenecks" in out
+        assert "ground-truth TTE" in out
+        assert "edge" in out
+        assert "unit " not in out  # only the requested granularity runs
+
+    def test_fleet_all_granularities(self, capsys):
+        argv = ["fleet", "--quick", "--units", "80", "--edges", "4", "--seed", "2"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        for granularity in ("unit", "edge", "region"):
+            assert granularity in out
+
+    def test_fleet_invalid_sizes_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fleet", "--quick", "--units", "0"])
+        assert "--units" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            main(["fleet", "--quick", "--edges", "-2"])
+        assert "--edges" in capsys.readouterr().err
+
     def test_invalid_rtt_spread_rejected(self):
         with pytest.raises(SystemExit):
             main(["topo_rtt", "--quick", "--rtt-spread", "10,-4"])
@@ -184,6 +216,14 @@ class TestParallelDeterminism:
     )
     def test_new_topology_figures_same_output_jobs_1_vs_4(self, figure, capsys):
         argv = [figure, "--quick"]
+        assert main([*argv, "--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main([*argv, "--jobs", "4"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_fleet_same_output_jobs_1_vs_4(self, capsys):
+        argv = ["fleet", "--quick", "--units", "120", "--edges", "6", "--seed", "2"]
         assert main([*argv, "--jobs", "1"]) == 0
         serial = capsys.readouterr().out
         assert main([*argv, "--jobs", "4"]) == 0

@@ -14,6 +14,7 @@ Usage::
     repro topo_l4s --quick           # does L4S/DCTCP marking shrink the bias?
     repro fleet --quick --jobs 4     # sharded fleet: bias vs cluster size
     repro sweep fig5 --replications 5 --jobs 4   # multi-seed mean ± CI
+    repro lint src                   # invariant linter (see docs/invariants.md)
 
 Every figure command prints the same rows/series the corresponding
 benchmark asserts on; ``--quick`` shrinks the synthetic workload for
@@ -510,8 +511,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point.  Returns a process exit code."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "lint":
+        # The invariant linter has its own option surface (paths,
+        # --select, --list-rules), so it dispatches before the figure
+        # parser sees the arguments.
+        from repro.devtools.lint.engine import main as lint_main
+
+        return lint_main(arguments[1:])
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
     if args.target is not None and args.figure != "sweep":
         parser.error(
             f"unexpected argument {args.target!r}; only 'sweep' takes a target figure"
@@ -522,6 +531,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         print("topology figures:    " + ", ".join(TOPOLOGY_FIGURES))
         print("fleet figures:       " + ", ".join(FLEET_FIGURES))
         print("sweepable figures:   " + ", ".join(FIGURE_CELL_TASKS))
+        print("tools:               lint (invariant linter; repro lint --list-rules)")
         return 0
     if args.figure == "sweep":
         return _run_sweep(args, parser)

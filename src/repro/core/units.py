@@ -208,7 +208,9 @@ class OutcomeTable:
         """Build a table from a sequence of dictionaries with identical keys."""
         if not records:
             raise ValueError("cannot build an OutcomeTable from zero records")
-        keys = list(records[0].keys())
+        # Sorted so the column order is a function of the key set, not of
+        # the first record's incidental insertion order.
+        keys = sorted(records[0])
         cols = {k: [float(r[k]) for r in records] for k in keys}
         return cls(cols)
 

@@ -1,0 +1,9 @@
+"""Developer tooling for the reproduction: invariant linting and checks.
+
+``repro.devtools`` hosts machinery that guards the repo's conventions
+rather than producing results: the AST-based invariant linter
+(:mod:`repro.devtools.lint`, exposed as ``repro lint``) enforces the
+determinism, content-key and API-hygiene contracts that every simulation
+result rests on.  See ``docs/invariants.md`` for the contracts and the
+rule table.
+"""

@@ -1,0 +1,96 @@
+"""API-hygiene rule: API001 (no cross-module reads of ``_private`` names).
+
+PR 2's composable-network refactor was forced by exactly this class of
+bug: experiment code reached into senders' private counters, and the
+refactor silently changed what those counters meant.  Private attributes
+and module-private helpers are invisible to the content-key and
+compatibility contracts, so other modules must not depend on them.
+
+The check is scoped per module: reading ``other._cells`` inside the
+module that *assigns* ``_cells`` (merge methods, alternate
+constructors) is conventional Python and stays legal; reading a private
+attribute never assigned in the current module — or importing a
+``_name`` from another module — is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools.lint.base import Diagnostic, Rule, register_rule
+from repro.devtools.lint.config import RULE_SCOPES
+from repro.devtools.lint.walker import FileContext
+
+__all__ = ["PrivateAccessRule"]
+
+
+def _is_private(name: str) -> bool:
+    """Single-underscore private (dunders are protocol, not private)."""
+    return name.startswith("_") and not (name.startswith("__") and name.endswith("__"))
+
+
+def _local_private_names(tree: ast.Module) -> frozenset[str]:
+    """Private attribute/function/class names defined in this module.
+
+    Collects attribute-store targets (``self._x = ...``), function,
+    class and variable definitions, plus class-body annotations — the
+    set of private names this module legitimately owns.
+    """
+    owned: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute) and isinstance(node.ctx, (ast.Store, ast.Del)):
+            owned.add(node.attr)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            owned.add(node.name)
+            if isinstance(node, ast.ClassDef):
+                for stmt in node.body:
+                    if isinstance(stmt, ast.AnnAssign) and isinstance(
+                        stmt.target, ast.Name
+                    ):
+                        owned.add(stmt.target.id)
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            owned.add(node.id)
+        elif isinstance(node, ast.arg):
+            owned.add(node.arg)
+    return frozenset(owned)
+
+
+@register_rule
+class PrivateAccessRule(Rule):
+    """API001: no cross-module reads of ``_private`` attributes or names."""
+
+    code = "API001"
+    summary = "cross-module read/import of a _private attribute or helper"
+    scopes = RULE_SCOPES["API001"]
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        """Flag private imports and reads of externally-owned private attrs."""
+        owned = _local_private_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if _is_private(alias.name):
+                        source = ("." * node.level) + (node.module or "")
+                        yield self.report(
+                            ctx,
+                            node,
+                            f"importing private name {alias.name!r} from "
+                            f"{source or 'module'}: promote it to a public "
+                            "name or move the shared logic",
+                        )
+            elif isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+                if not _is_private(node.attr) or node.attr in owned:
+                    continue
+                base = node.value
+                if isinstance(base, ast.Name) and base.id in ("self", "cls"):
+                    continue
+                if isinstance(base, ast.Call) and isinstance(base.func, ast.Name):
+                    if base.func.id == "super":
+                        continue
+                yield self.report(
+                    ctx,
+                    node,
+                    f"read of private attribute {node.attr!r} not owned by "
+                    "this module; use (or add) a public accessor",
+                )

@@ -1,0 +1,107 @@
+"""Rule base class, diagnostics, and the lint-rule registry.
+
+A lint rule is a class with a stable ``code`` (``DET001``, ``KEY001``,
+...), a one-line ``summary``, and a ``check`` method that walks one
+parsed file and yields :class:`Diagnostic` records.  Rules register
+themselves with :func:`register_rule` so the engine, the CLI
+(``repro lint --list-rules``) and the docs all draw from one table.
+
+Rules are *scoped*: each declares the dotted module prefixes it applies
+to (e.g. ``repro.netsim``).  Files outside every scope are skipped for
+that rule; files that are not part of any package (test fixtures,
+scratch scripts) are checked by every selected rule so the fixture
+tests exercise each rule in isolation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, ClassVar
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.devtools.lint.walker import FileContext
+
+__all__ = ["Diagnostic", "Rule", "register_rule", "RULES", "rule_table"]
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One lint finding, anchored to a file position.
+
+    Sort order is (path, line, col, code) so reports group by file and
+    read top to bottom.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """Format as ``path:line:col: CODE message`` (editor-clickable)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+
+    Attributes
+    ----------
+    code:
+        Stable rule identifier used in reports and suppressions.
+    summary:
+        One-line description shown by ``repro lint --list-rules``.
+    scopes:
+        Dotted module prefixes the rule applies to inside the ``repro``
+        package.  ``None`` means the rule applies everywhere.  Files
+        whose module cannot be determined (no enclosing package) are
+        always in scope so fixture snippets exercise every rule.
+    """
+
+    code: ClassVar[str] = ""
+    summary: ClassVar[str] = ""
+    scopes: ClassVar[tuple[str, ...] | None] = None
+
+    def applies_to(self, module: str | None) -> bool:
+        """Whether this rule is in scope for a file of dotted name ``module``."""
+        if self.scopes is None or module is None:
+            return True
+        return any(
+            module == scope or module.startswith(scope + ".") for scope in self.scopes
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        """Yield diagnostics for one parsed file."""
+        raise NotImplementedError
+
+    def report(self, ctx: FileContext, node: object, message: str) -> Diagnostic:
+        """Build a diagnostic anchored at an AST node's position."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        return Diagnostic(
+            path=str(ctx.path), line=line, col=col, code=self.code, message=message
+        )
+
+
+#: All registered rules, keyed by code.
+RULES: dict[str, type[Rule]] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Register a rule class under its ``code`` (class decorator)."""
+    if not cls.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    existing = RULES.get(cls.code)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"rule code {cls.code!r} already registered to {existing!r}")
+    RULES[cls.code] = cls
+    return cls
+
+
+def rule_table() -> list[tuple[str, str]]:
+    """``(code, summary)`` rows for every registered rule, sorted by code."""
+    return [(code, RULES[code].summary) for code in sorted(RULES)]

@@ -1,0 +1,175 @@
+"""Content-key hygiene rules: KEY001 (frozen specs), KEY002 (inert knobs).
+
+The :class:`~repro.runner.cache.ResultCache` identifies results purely by
+content key — a hash of the task name, seed, canonicalised parameters and
+package version.  That identity is only trustworthy if
+
+* every ``*Spec``/``*Config`` dataclass that can appear in a spec is
+  immutable (``frozen=True``) with immutable defaults, so a keyed value
+  cannot drift after hashing (KEY001); and
+* a registered task's required parameter surface never grows silently:
+  new knobs must be inert at their default, or be recorded in the
+  reviewed baseline in :mod:`repro.devtools.lint.config` (KEY002).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools.lint.base import Diagnostic, Rule, register_rule
+from repro.devtools.lint.config import DEFAULT_CONFIG, RULE_SCOPES, LintConfig
+from repro.devtools.lint.names import decorator_name
+from repro.devtools.lint.walker import FileContext
+
+__all__ = ["FrozenSpecRule", "InertDefaultRule"]
+
+#: ``default_factory`` values that produce mutable field defaults.
+_MUTABLE_FACTORIES = frozenset({"list", "dict", "set"})
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> ast.expr | None:
+    """The ``@dataclass`` decorator of a class, if present."""
+    for dec in node.decorator_list:
+        if decorator_name(dec) == "dataclass":
+            return dec
+    return None
+
+
+def _is_frozen(decorator: ast.expr) -> bool:
+    """Whether a ``@dataclass`` decorator carries ``frozen=True``."""
+    if not isinstance(decorator, ast.Call):
+        return False
+    for kw in decorator.keywords:
+        if kw.arg == "frozen":
+            return isinstance(kw.value, ast.Constant) and kw.value.value is True
+    return False
+
+
+@register_rule
+class FrozenSpecRule(Rule):
+    """KEY001: ``*Spec``/``*Config`` dataclasses must be frozen and immutable."""
+
+    code = "KEY001"
+    summary = "*Spec/*Config dataclass not frozen=True, or with a mutable default field"
+    scopes = RULE_SCOPES["KEY001"]
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        """Flag unfrozen spec dataclasses and mutable field defaults."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not (node.name.endswith("Spec") or node.name.endswith("Config")):
+                continue
+            decorator = _dataclass_decorator(node)
+            if decorator is None:
+                continue
+            if not _is_frozen(decorator):
+                yield self.report(
+                    ctx,
+                    node,
+                    f"dataclass {node.name} is content-keyable by name but not "
+                    "frozen=True; spec objects must be immutable once keyed",
+                )
+            yield from self._check_defaults(ctx, node)
+
+    def _check_defaults(self, ctx: FileContext, node: ast.ClassDef) -> Iterator[Diagnostic]:
+        for stmt in node.body:
+            if not isinstance(stmt, ast.AnnAssign) or stmt.value is None:
+                continue
+            value = stmt.value
+            if isinstance(value, (ast.List, ast.Dict, ast.Set)):
+                yield self.report(
+                    ctx,
+                    value,
+                    f"mutable literal default on field of {node.name}; use an "
+                    "immutable default (tuple, frozenset, None)",
+                )
+            elif isinstance(value, ast.Call) and decorator_name(value.func) == "field":
+                for kw in value.keywords:
+                    if (
+                        kw.arg == "default_factory"
+                        and isinstance(kw.value, ast.Name)
+                        and kw.value.id in _MUTABLE_FACTORIES
+                    ):
+                        yield self.report(
+                            ctx,
+                            value,
+                            f"field of {node.name} defaults to a mutable "
+                            f"{kw.value.id}; prefer an immutable default, or "
+                            "suppress with a justification if the field is "
+                            "canonicalised and never mutated",
+                        )
+
+
+@register_rule
+class InertDefaultRule(Rule):
+    """KEY002: new task parameters must be inert at their default."""
+
+    code = "KEY002"
+    summary = (
+        "registered task parameter without a default and outside the recorded "
+        "baseline (content-key inert-at-default contract)"
+    )
+    scopes = RULE_SCOPES["KEY002"]
+
+    def __init__(self, config: LintConfig = DEFAULT_CONFIG) -> None:
+        super().__init__()
+        self.config = config
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        """Flag default-less parameters of ``@register_task`` functions."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            task_name = self._task_name(node)
+            if task_name is None:
+                continue
+            yield from self._check_signature(ctx, node, task_name)
+
+    @staticmethod
+    def _task_name(node: ast.FunctionDef | ast.AsyncFunctionDef) -> str | None:
+        for dec in node.decorator_list:
+            if decorator_name(dec) == "register_task" and isinstance(dec, ast.Call):
+                if dec.args and isinstance(dec.args[0], ast.Constant):
+                    value = dec.args[0].value
+                    if isinstance(value, str):
+                        return value
+                return node.name  # dynamic task name: still check the signature
+        return None
+
+    def _check_signature(
+        self,
+        ctx: FileContext,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        task_name: str,
+    ) -> Iterator[Diagnostic]:
+        args = node.args
+        baseline = self.config.task_param_baseline.get(task_name, frozenset())
+        positional = args.posonlyargs + args.args
+        defaults = args.defaults
+        required = positional[: len(positional) - len(defaults)]
+        required_kwonly = [
+            arg
+            for arg, default in zip(args.kwonlyargs, args.kw_defaults)
+            if default is None
+        ]
+        names = {a.arg for a in positional} | {a.arg for a in args.kwonlyargs}
+        if "seed" not in names and args.kwarg is None:
+            yield self.report(
+                ctx,
+                node,
+                f"task {task_name!r} does not accept a `seed` parameter; every "
+                "task must take seed= (possibly ignored) so specs stay uniform",
+            )
+        for arg in [*required, *required_kwonly]:
+            if arg.arg in baseline or arg.arg == "self":
+                continue
+            yield self.report(
+                ctx,
+                arg,
+                f"parameter {arg.arg!r} of task {task_name!r} has no default: "
+                "new spec fields must be inert at their default so existing "
+                "content keys survive, or be added to the recorded baseline "
+                "in repro/devtools/lint/config.py",
+            )

@@ -1,0 +1,257 @@
+"""Determinism rules: DET001 (randomness), DET002 (clocks), DET003 (sets).
+
+Bit-identical serial/parallel runs — the runner's core guarantee — hold
+only if every simulation result is a pure function of its spec.  These
+rules flag the three ways that purity has historically been lost:
+
+* drawing randomness from global, unseeded generators (DET001);
+* reading wall clocks inside simulation or runner code (DET002);
+* iterating over sets, whose order depends on hash randomisation, when
+  assembling results or schedules (DET003).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools.lint.base import Diagnostic, Rule, register_rule
+from repro.devtools.lint.config import RULE_SCOPES
+from repro.devtools.lint.names import dotted_path, import_table
+from repro.devtools.lint.walker import FileContext
+
+__all__ = ["UnseededRandomnessRule", "WallClockRule", "UnorderedIterationRule"]
+
+#: Seeded constructors allowed by DET001 when called with arguments.
+_SEEDED_CONSTRUCTORS = frozenset(
+    {
+        "random.Random",
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.PCG64",
+        "numpy.random.SeedSequence",
+        "numpy.random.RandomState",
+    }
+)
+
+#: Wall-clock calls DET002 rejects outright.
+_WALL_CLOCKS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+@register_rule
+class UnseededRandomnessRule(Rule):
+    """DET001: randomness must flow from seeded generator instances."""
+
+    code = "DET001"
+    summary = (
+        "unseeded randomness: module-level random.*/np.random.* calls; "
+        "use random.Random(seed) / np.random.default_rng(seed)"
+    )
+    scopes = RULE_SCOPES["DET001"]
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        """Flag calls into the global ``random`` / ``numpy.random`` state."""
+        imports = import_table(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            path = dotted_path(node.func, imports, require_import=True)
+            if path is None:
+                continue
+            if path in _SEEDED_CONSTRUCTORS:
+                if node.args or node.keywords:
+                    continue  # seeded construction is the approved pattern
+                yield self.report(
+                    ctx,
+                    node,
+                    f"`{path}()` without a seed is nondeterministic; pass the "
+                    "seed handed down from the spec",
+                )
+            elif path.startswith("random.") or path.startswith("numpy.random."):
+                yield self.report(
+                    ctx,
+                    node,
+                    f"`{path}()` draws from global random state; derive all "
+                    "randomness from a seeded random.Random(seed) or "
+                    "np.random.default_rng(seed)",
+                )
+
+
+@register_rule
+class WallClockRule(Rule):
+    """DET002: simulation/runner code must not read wall clocks."""
+
+    code = "DET002"
+    summary = "wall-clock read (time.time / datetime.now) inside simulation or runner code"
+    scopes = RULE_SCOPES["DET002"]
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        """Flag calls that read host clocks."""
+        imports = import_table(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            path = dotted_path(node.func, imports, require_import=True)
+            if path in _WALL_CLOCKS:
+                yield self.report(
+                    ctx,
+                    node,
+                    f"`{path}()` reads the wall clock; simulated time must come "
+                    "from the event scheduler so results are pure functions of "
+                    "the spec",
+                )
+
+
+class _SetIterationVisitor(ast.NodeVisitor):
+    """Collects iteration sites whose iterable is an unordered set.
+
+    Tracks, per function scope, local names whose every assignment is a
+    set expression, then flags ``for`` loops, comprehensions and
+    ``list()``/``tuple()``/``enumerate()``/``iter()`` calls that consume
+    an unordered expression directly.
+    """
+
+    _MATERIALISERS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+    def __init__(self, rule: UnorderedIterationRule, ctx: FileContext) -> None:
+        self.rule = rule
+        self.ctx = ctx
+        self.findings: list[Diagnostic] = []
+        self._scope_stack: list[dict[str, bool]] = [{}]
+
+    # -- scope handling --------------------------------------------------------
+
+    def _enter_scope(self) -> None:
+        self._scope_stack.append({})
+
+    def _exit_scope(self) -> None:
+        self._scope_stack.pop()
+
+    def _bind(self, name: str, is_set: bool) -> None:
+        scope = self._scope_stack[-1]
+        # A name stays "set-like" only while every assignment to it is one.
+        scope[name] = is_set and scope.get(name, True)
+
+    def _is_set_name(self, name: str) -> bool:
+        for scope in reversed(self._scope_stack):
+            if name in scope:
+                return scope[name]
+        return False
+
+    # -- set-expression classification -----------------------------------------
+
+    def _is_unordered(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return True
+            if isinstance(func, ast.Attribute) and func.attr == "keys":
+                # dict.keys() order mirrors insertion order, but result
+                # assembly must not depend on incidental insertion order;
+                # iterate sorted(d) instead.
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._is_unordered(node.left) or self._is_unordered(node.right)
+        if isinstance(node, ast.Name):
+            return self._is_set_name(node.id)
+        return False
+
+    def _flag(self, node: ast.expr) -> None:
+        self.findings.append(
+            self.rule.report(
+                self.ctx,
+                node,
+                "iteration over an unordered set (or dict.keys()) can depend "
+                "on hash randomisation; wrap the iterable in sorted(...)",
+            )
+        )
+
+    # -- visitors --------------------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_scope()
+        self.generic_visit(node)
+        self._exit_scope()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter_scope()
+        self.generic_visit(node)
+        self._exit_scope()
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        is_set = self._is_unordered(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                self._bind(target.id, is_set)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None and isinstance(node.target, ast.Name):
+            self._bind(node.target.id, self._is_unordered(node.value))
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._is_unordered(node.iter):
+            self._flag(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ast.expr) -> None:
+        for gen in getattr(node, "generators", []):
+            if self._is_unordered(gen.iter):
+                self._flag(gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # Building a *set* from a set keeps the result unordered; only
+        # flag once an ordered sequence is produced from it.
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id in self._MATERIALISERS
+            and node.args
+            and self._is_unordered(node.args[0])
+        ):
+            self._flag(node.args[0])
+        self.generic_visit(node)
+
+
+@register_rule
+class UnorderedIterationRule(Rule):
+    """DET003: no iteration over unordered sets without ``sorted()``."""
+
+    code = "DET003"
+    summary = "iteration over set/dict.keys() without sorted() (hash-randomisation hazard)"
+    scopes = RULE_SCOPES["DET003"]
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        """Flag for-loops/comprehensions/materialisers fed by raw sets."""
+        visitor = _SetIterationVisitor(self, ctx)
+        visitor.visit(ctx.tree)
+        yield from visitor.findings

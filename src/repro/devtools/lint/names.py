@@ -1,0 +1,84 @@
+"""Name-resolution helpers shared by the rule families.
+
+Rules reason about *dotted paths*: ``np.random.default_rng`` should be
+recognised whether numpy was imported as ``numpy``, ``np``, or via
+``from numpy import random``.  :func:`import_table` records what each
+local alias refers to; :func:`dotted_path` resolves an expression like
+``np.random.default_rng`` back to its canonical ``numpy.random.default_rng``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["import_table", "dotted_path", "decorator_name"]
+
+
+def import_table(tree: ast.Module) -> dict[str, str]:
+    """Map local aliases to the canonical dotted names they import.
+
+    ``import numpy as np``            -> ``{"np": "numpy"}``
+    ``from numpy import random``      -> ``{"random": "numpy.random"}``
+    ``from time import time as now``  -> ``{"now": "time.time"}``
+
+    Relative imports are recorded with their leading dots stripped; the
+    rules only match absolute stdlib/numpy prefixes, so relative aliases
+    simply never match.
+    """
+    table: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                table[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+                if alias.asname is None and "." in alias.name:
+                    # ``import numpy.random`` binds the root name only.
+                    table[alias.name.split(".")[0]] = alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                table[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return table
+
+
+def dotted_path(
+    node: ast.expr, imports: dict[str, str], require_import: bool = False
+) -> str | None:
+    """Canonical dotted path of an attribute chain, or ``None``.
+
+    Resolves the chain's root name through ``imports`` so aliased
+    modules normalise (``np.random.rand`` -> ``numpy.random.rand``).
+    By default names that were not imported resolve to themselves,
+    letting callers match plain builtins (``set``); with
+    ``require_import=True`` such chains resolve to ``None``, so a local
+    variable that happens to be called ``random`` never matches the
+    stdlib module.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    if require_import and node.id not in imports:
+        return None
+    root = imports.get(node.id, node.id)
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+def decorator_name(node: ast.expr) -> str | None:
+    """Final name of a decorator expression.
+
+    ``@register_task("x")`` and ``@repro.runner.spec.register_task("x")``
+    both resolve to ``register_task``; unrecognisable shapes to ``None``.
+    """
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None

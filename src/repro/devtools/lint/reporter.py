@@ -1,0 +1,36 @@
+"""Diagnostic rendering for the lint engine.
+
+One diagnostic per line in ``path:line:col: CODE message`` form (the
+shape editors and CI annotations parse), followed by a one-line summary.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.devtools.lint.base import Diagnostic, rule_table
+
+__all__ = ["render_diagnostics", "render_summary", "render_rule_table"]
+
+
+def render_diagnostics(diagnostics: Sequence[Diagnostic]) -> str:
+    """All diagnostics, one ``path:line:col: CODE message`` line each."""
+    return "\n".join(d.render() for d in diagnostics)
+
+
+def render_summary(diagnostics: Sequence[Diagnostic], files_checked: int) -> str:
+    """One-line outcome: violation and file counts, or a clean bill."""
+    if not diagnostics:
+        return f"checked {files_checked} file(s): no invariant violations"
+    files_flagged = len({d.path for d in diagnostics})
+    return (
+        f"found {len(diagnostics)} violation(s) in {files_flagged} file(s) "
+        f"({files_checked} checked)"
+    )
+
+
+def render_rule_table() -> str:
+    """The registered rules as ``CODE  summary`` lines (``--list-rules``)."""
+    rows = rule_table()
+    width = max(len(code) for code, _ in rows)
+    return "\n".join(f"{code:<{width}}  {summary}" for code, summary in rows)

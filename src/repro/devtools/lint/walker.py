@@ -1,0 +1,147 @@
+"""File discovery, parsing and suppression handling for the lint engine.
+
+The walker turns paths into :class:`FileContext` objects: the parsed
+AST, the file's dotted module name (derived from the enclosing package
+chain, so scoped rules know where they are), and the per-line
+suppression table parsed from ``# repro-lint: disable=CODE`` comments.
+
+Suppressions are honoured in two positions:
+
+* inline, on the same physical line as the diagnostic::
+
+      treated = set(units)  # repro-lint: disable=DET003  -- membership only
+
+* a standalone comment line immediately above the flagged line, for
+  statements that have no room at the end.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["FileContext", "collect_files", "load_file", "module_name_for"]
+
+#: Directories never descended into during discovery.
+SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "build", "dist", ".eggs"})
+
+#: Suppression comment syntax: ``# repro-lint: disable=DET001,KEY001``.
+_SUPPRESS_RE = re.compile(r"repro-lint:\s*disable=([A-Za-z0-9_*]+(?:\s*,\s*[A-Za-z0-9_*]+)*)")
+
+
+@dataclass
+class FileContext:
+    """One parsed source file, ready for rules to walk.
+
+    Attributes
+    ----------
+    path:
+        Location of the file on disk.
+    module:
+        Dotted module name (``repro.netsim.packet.queue``) when the file
+        sits inside an importable package chain, else ``None``.
+    source:
+        Raw file contents.
+    tree:
+        The parsed :class:`ast.Module`.
+    suppressions:
+        Maps line number to the set of rule codes suppressed on that
+        line (``{"*"}`` suppresses every rule).
+    """
+
+    path: Path
+    module: str | None
+    source: str
+    tree: ast.Module
+    suppressions: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        """Whether diagnostics of ``code`` on ``line`` are suppressed."""
+        codes = self.suppressions.get(line, frozenset())
+        return code in codes or "*" in codes
+
+
+def module_name_for(path: Path) -> str | None:
+    """Dotted module name of ``path``, from its enclosing package chain.
+
+    Walks parent directories while each contains an ``__init__.py``;
+    returns ``None`` for files outside any package (fixtures, scripts),
+    which scoped rules treat as "check everything".
+    """
+    path = path.resolve()
+    parts: list[str] = [] if path.name == "__init__.py" else [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    if not parts:
+        return None
+    name = ".".join(parts)
+    # A bare non-package file has no dots and no package ancestry.
+    return name if (path.parent / "__init__.py").exists() else None
+
+
+def collect_files(paths: list[Path]) -> list[Path]:
+    """Expand files and directories into a sorted list of ``*.py`` files.
+
+    Raises ``FileNotFoundError`` for paths that do not exist, so the CLI
+    can distinguish usage errors from lint findings.
+    """
+    files: set[Path] = set()
+    for path in paths:
+        if not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        if path.is_dir():
+            for sub in path.rglob("*.py"):
+                if not any(part in SKIP_DIRS for part in sub.parts):
+                    files.add(sub)
+        elif path.suffix == ".py":
+            files.add(path)
+        else:
+            raise FileNotFoundError(f"not a Python file: {path}")
+    return sorted(files)
+
+
+def _parse_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Extract the per-line suppression table from comment tokens."""
+    table: dict[int, set[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover - parse rejects first
+        return {}
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(tok.string)
+        if not match:
+            continue
+        codes = {c.strip() for c in match.group(1).split(",") if c.strip()}
+        line = tok.start[0]
+        table.setdefault(line, set()).update(codes)
+        # A standalone comment line (nothing before the '#') also covers
+        # the next line, so statements can carry a suppression above.
+        prefix = tok.line[: tok.start[1]]
+        if not prefix.strip():
+            table.setdefault(line + 1, set()).update(codes)
+    return {line: frozenset(codes) for line, codes in table.items()}
+
+
+def load_file(path: Path) -> FileContext:
+    """Parse ``path`` into a :class:`FileContext`.
+
+    Raises ``SyntaxError`` if the file does not parse; the engine turns
+    that into a ``PARSE`` diagnostic rather than crashing the run.
+    """
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    return FileContext(
+        path=path,
+        module=module_name_for(path),
+        source=source,
+        tree=tree,
+        suppressions=_parse_suppressions(source),
+    )

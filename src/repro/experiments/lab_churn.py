@@ -42,7 +42,7 @@ from collections.abc import Sequence
 
 from repro.core.designs.switchback import SwitchbackDesign
 from repro.experiments.lab_common import LabFigure, packet_sweep_to_figure
-from repro.experiments.lab_topology import _sweep_scale
+from repro.experiments.lab_topology import sweep_scale
 from repro.netsim.packet.simulation import FlowConfig
 from repro.netsim.packet.sweep import run_packet_sweep
 from repro.netsim.traffic import ParetoSizes, PoissonArrivals, RampDemand, TrafficSource
@@ -204,7 +204,7 @@ def run_churn_experiment(
     churn_stats: dict[float, ChurnStats] = {}
     for rate in churn_rates:
         rate = float(rate)
-        scale = _sweep_scale(quick)
+        scale = sweep_scale(quick)
         n_units = scale.pop("n_units")
         sweep = run_packet_sweep(
             n_units,

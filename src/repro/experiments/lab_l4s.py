@@ -44,7 +44,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.lab_common import LabFigure, packet_sweep_to_figure
-from repro.experiments.lab_topology import _sweep_scale
+from repro.experiments.lab_topology import sweep_scale
 from repro.netsim.packet.queue import QUEUE_DISCIPLINES
 from repro.netsim.packet.simulation import FlowConfig
 from repro.netsim.packet.sweep import run_packet_sweep
@@ -154,7 +154,7 @@ def run_l4s_experiment(
 
     figures: dict[str, LabFigure] = {}
     for arm, discipline, ecn, paced in L4S_ARMS:
-        scale = _sweep_scale(quick)
+        scale = sweep_scale(quick)
         n_units = scale.pop("n_units")
         sweep = run_packet_sweep(
             n_units,
@@ -186,7 +186,7 @@ def run_l4s_experiment(
     # bottleneck, one connection each — the sweep machinery's 50 %
     # "allocation" doubles as the classic/L4S split, reusing its
     # executor fan-out and cache keys.
-    scale = _sweep_scale(quick)
+    scale = sweep_scale(quick)
     n_units = scale.pop("n_units")
     half = n_units // 2
     scale["allocations"] = (half,)  # one mixed run, not a sweep

@@ -37,6 +37,7 @@ __all__ = [
     "AqmBiasComparison",
     "run_rtt_experiment",
     "run_aqm_experiment",
+    "sweep_scale",
 ]
 
 #: Default per-unit RTT profile (ms): a 8x spread, cycled across units so
@@ -44,7 +45,7 @@ __all__ = [
 DEFAULT_RTT_SPREAD_MS: tuple[float, ...] = (10.0, 20.0, 40.0, 80.0)
 
 
-def _sweep_scale(quick: bool) -> dict[str, object]:
+def sweep_scale(quick: bool) -> dict[str, object]:
     """Sweep sizing: full keeps 8 units and 3 interior points, quick shrinks."""
     if quick:
         return dict(
@@ -92,7 +93,7 @@ def run_rtt_experiment(
         raise ValueError("rtt_spread_ms must not be empty")
     if treatment_connections < 1 or control_connections < 1:
         raise ValueError("connection counts must be at least 1")
-    scale = _sweep_scale(quick)
+    scale = sweep_scale(quick)
     n_units = scale.pop("n_units")
     sweep = run_packet_sweep(
         n_units,
@@ -188,7 +189,7 @@ def run_aqm_experiment(
         )
     figures: dict[str, LabFigure] = {}
     for discipline in disciplines:
-        scale = _sweep_scale(quick)
+        scale = sweep_scale(quick)
         n_units = scale.pop("n_units")
         sweep = run_packet_sweep(
             n_units,

@@ -127,7 +127,9 @@ class QueueConfig:
     buffer_bytes: float | None = None
     buffer_bdp: float | None = None
     discipline: str = "droptail"
-    params: Mapping[str, Any] = field(default_factory=dict)
+    # Mapping default is deliberate: params are canonicalised by
+    # content_key and only ever read (dict(params) at queue build time).
+    params: Mapping[str, Any] = field(default_factory=dict)  # repro-lint: disable=KEY001
 
     def __post_init__(self) -> None:
         if self.capacity_mbps <= 0:

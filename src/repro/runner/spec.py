@@ -38,6 +38,7 @@ def register_task(name: str) -> Callable[[Callable[..., Any]], Callable[..., Any
     """Register a function as a runner task under ``name`` (decorator)."""
 
     def decorator(fn: Callable[..., Any]) -> Callable[..., Any]:
+        """Record ``fn`` in the task table and return it unchanged."""
         existing = _TASKS.get(name)
         if existing is not None and existing is not fn:
             raise ValueError(f"task {name!r} is already registered to {existing!r}")
@@ -85,7 +86,10 @@ class ScenarioSpec:
     """
 
     task: str
-    params: Mapping[str, Any] = field(default_factory=dict)
+    # Mapping default is deliberate: params are canonicalised (sorted) by
+    # content_key, never hashed via __hash__ and never mutated in place;
+    # an immutable proxy would not survive pickling to worker processes.
+    params: Mapping[str, Any] = field(default_factory=dict)  # repro-lint: disable=KEY001
     seed: int | None = None
     label: str = ""
 

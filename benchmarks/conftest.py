@@ -20,6 +20,13 @@ the ``throughput`` fixture; those land in the export's ``throughput``
 section, from which ``check_regression.py`` prints a speedup/slowdown
 delta table against the baseline (informational — wall-time is the
 gate).
+
+When the export is enabled, each benchmark's call phase also runs under
+``tracemalloc`` and its peak traced allocation lands in the export's
+``memory`` section (schema 3) — informational like throughput, never a
+gate.  Tracing is gated on ``BENCH_JSON`` so plain benchmark runs pay no
+tracemalloc overhead (and wall times in the export carry the overhead
+uniformly, so deltas against the baseline stay comparable).
 """
 
 import json
@@ -27,6 +34,7 @@ import os
 import platform
 import sys
 import time
+import tracemalloc
 from pathlib import Path
 
 import pytest
@@ -70,6 +78,10 @@ _TIMINGS: dict[str, float] = {}
 #: ``throughput`` fixture (packet-engine microbenchmarks only).
 _THROUGHPUT: dict[str, dict[str, float]] = {}
 
+#: Peak traced allocation (bytes) per test nodeid; only populated when
+#: ``BENCH_JSON`` enables the export (tracemalloc is not free).
+_MEMORY: dict[str, float] = {}
+
 
 class ThroughputRecorder:
     """Records one benchmark's absolute engine throughput for the export."""
@@ -112,18 +124,35 @@ def pytest_runtest_logreport(report):
         _TIMINGS[report.nodeid] = report.duration
 
 
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Measure each test's peak memory when the JSON export is enabled."""
+    if not os.environ.get("BENCH_JSON") or tracemalloc.is_tracing():
+        # Not exporting, or something outer already traces (nested
+        # tracemalloc starts would reset its peak counter).
+        yield
+        return
+    tracemalloc.start()
+    try:
+        yield
+        _MEMORY[item.nodeid] = float(tracemalloc.get_traced_memory()[1])
+    finally:
+        tracemalloc.stop()
+
+
 def pytest_sessionfinish(session):
     """Export the collected timings when ``BENCH_JSON`` names a file."""
     out = os.environ.get("BENCH_JSON")
     if not out or not _TIMINGS:
         return
     payload = {
-        "schema": 2,
+        "schema": 3,
         "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": platform.python_version(),
         "platform": platform.platform(),
         "timings": dict(sorted(_TIMINGS.items())),
         "throughput": dict(sorted(_THROUGHPUT.items())),
+        "memory": dict(sorted(_MEMORY.items())),
     }
     path = Path(out)
     path.parent.mkdir(parents=True, exist_ok=True)

@@ -44,7 +44,7 @@ from repro.core.estimators import (
 )
 from repro.core.units import OutcomeTable, Session, Unit
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "Assignment",

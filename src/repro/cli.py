@@ -15,6 +15,14 @@ Usage::
     repro fleet --quick --jobs 4     # sharded fleet: bias vs cluster size
     repro sweep fig5 --replications 5 --jobs 4   # multi-seed mean ± CI
     repro lint src                   # invariant linter (see docs/invariants.md)
+    repro fleet --quick --trace RUN --profile --probe 0.5  # traced + profiled run
+    repro report RUN                 # render a traced run directory
+
+``--trace DIR`` records runner-level spans and cache events to a run
+directory (JSONL + Chrome trace-event JSON, openable in Perfetto),
+``--profile`` adds per-task cProfile hotspots, and ``--probe SECONDS``
+samples in-sim telemetry on fleet shards — all without changing any
+simulated result (see ``docs/observability.md``).
 
 Every figure command prints the same rows/series the corresponding
 benchmark asserts on; ``--quick`` shrinks the synthetic workload for
@@ -213,6 +221,31 @@ def _print_topology_figure(
     print("\n".join(comparison.summary_lines()))
 
 
+def _command_line(args: argparse.Namespace) -> str:
+    """Reconstruct a readable command line for the trace metadata."""
+    parts = ["repro", args.figure]
+    if args.target:
+        parts.append(args.target)
+    if args.quick:
+        parts.append("--quick")
+    if args.jobs != 1:
+        parts.append(f"--jobs {args.jobs}")
+    if getattr(args, "probe", None):
+        parts.append(f"--probe {args.probe:g}")
+    if args.profile:
+        parts.append("--profile")
+    return " ".join(parts)
+
+
+def _make_tracer(args: argparse.Namespace):
+    """The run tracer for ``--trace DIR``, or ``None``."""
+    if not args.trace:
+        return None
+    from repro.obs.trace import RunTracer
+
+    return RunTracer(args.trace, command=_command_line(args))
+
+
 def _print_fleet_figure(args: argparse.Namespace, parser: argparse.ArgumentParser) -> None:
     from repro.netsim.fleet import GRANULARITIES
 
@@ -223,16 +256,56 @@ def _print_fleet_figure(args: argparse.Namespace, parser: argparse.ArgumentParse
         parser.error("--units must be positive")
     if args.edges is not None and args.edges < 1:
         parser.error("--edges must be positive")
+
+    # Observability: a traced/profiled executor plus a live shard
+    # progress line (on a terminal, or whenever a trace is requested).
+    tracer = _make_tracer(args)
+    progress = None
+    if tracer is not None or sys.stderr.isatty():
+        from repro.obs.trace import ProgressPrinter
+
+        progress = ProgressPrinter("shards")
+    executor = None
+    if tracer is not None or args.profile or progress is not None:
+        executor = ParallelExecutor(
+            jobs=args.jobs,
+            cache=_make_cache(args),
+            tracer=tracer,
+            profile=args.profile,
+            on_task_done=progress,
+        )
+
+    from repro.obs.trace import walltime
+
+    started = walltime()
     comparison = run_fleet_experiment(
         units=args.units,
         edges=args.edges,
         granularities=granularities,
         quick=args.quick,
         jobs=args.jobs,
-        cache=_make_cache(args),
+        cache=_make_cache(args) if executor is None else None,
+        executor=executor,
+        probe_interval_s=args.probe or 0.0,
         seed=args.seed,
     )
     print("\n".join(comparison.summary_lines()))
+
+    if tracer is not None:
+        wall = walltime() - started
+        fleets = len(comparison.outcomes) + 2
+        tracer.add_counters(comparison.counters)
+        tracer.finish(
+            {
+                "figure": "fleet",
+                "shards": comparison.spec.edges * fleets,
+                "units": comparison.spec.units,
+                "units_per_s": (
+                    comparison.spec.units * fleets / wall if wall > 0 else 0.0
+                ),
+            }
+        )
+        print(f"trace written to {args.trace}", file=sys.stderr)
 
 
 def _run_paired(args: argparse.Namespace):
@@ -371,8 +444,17 @@ def _run_sweep(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
         )
         for r in range(replication_count)
     ]
-    executor = ParallelExecutor(jobs=args.jobs, cache=_make_cache(args))
+    tracer = _make_tracer(args)
+    executor = ParallelExecutor(
+        jobs=args.jobs,
+        cache=_make_cache(args),
+        tracer=tracer,
+        profile=args.profile,
+    )
     replications = executor.map(specs)
+    if tracer is not None:
+        tracer.finish({"figure": target, "replications": replication_count})
+        print(f"trace written to {args.trace}", file=sys.stderr)
 
     cells = list(replications[0])
     rows = []
@@ -497,6 +579,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="assignment granularity compared by 'fleet' (default: all three)",
     )
     parser.add_argument(
+        "--trace",
+        metavar="DIR",
+        default=None,
+        help=(
+            "write run tracing (task spans, cache events; JSONL + Chrome "
+            "trace-event JSON) to this directory — 'sweep' and 'fleet' only; "
+            "render it afterwards with 'repro report DIR'"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="wrap each runner task in cProfile (requires --trace)",
+    )
+    parser.add_argument(
+        "--probe",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help=(
+            "sample in-sim queue depth on every fleet shard at this simulated-"
+            "time cadence ('fleet' only; never changes results)"
+        ),
+    )
+    parser.add_argument(
         "--cache",
         action="store_true",
         help="reuse results of unchanged runs from the on-disk cache",
@@ -519,19 +626,36 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.devtools.lint.engine import main as lint_main
 
         return lint_main(arguments[1:])
+    if arguments and arguments[0] == "report":
+        # So does the run-report renderer (a run directory + --top).
+        from repro.obs.report import main as report_main
+
+        return report_main(arguments[1:])
     parser = build_parser()
     args = parser.parse_args(arguments)
     if args.target is not None and args.figure != "sweep":
         parser.error(
             f"unexpected argument {args.target!r}; only 'sweep' takes a target figure"
         )
+    if args.trace is not None and args.figure not in ("sweep", *FLEET_FIGURES):
+        parser.error("--trace is only supported for 'sweep' and 'fleet'")
+    if args.profile and args.trace is None:
+        parser.error("--profile requires --trace DIR (hotspots land in the trace)")
+    if args.probe is not None:
+        if args.figure not in FLEET_FIGURES:
+            parser.error("--probe only applies to the 'fleet' figure")
+        if args.probe <= 0:
+            parser.error("--probe needs a positive sampling interval in seconds")
     if args.figure == "list":
         print("lab figures:        " + ", ".join(sorted(LAB_FIGURES)))
         print("paired-link figures: " + ", ".join(PAIRED_FIGURES))
         print("topology figures:    " + ", ".join(TOPOLOGY_FIGURES))
         print("fleet figures:       " + ", ".join(FLEET_FIGURES))
         print("sweepable figures:   " + ", ".join(FIGURE_CELL_TASKS))
-        print("tools:               lint (invariant linter; repro lint --list-rules)")
+        print(
+            "tools:               lint (invariant linter; repro lint --list-rules), "
+            "report (render a --trace run directory)"
+        )
         return 0
     if args.figure == "sweep":
         return _run_sweep(args, parser)

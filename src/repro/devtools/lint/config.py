@@ -27,15 +27,24 @@ __all__ = ["LintConfig", "DEFAULT_CONFIG", "RULE_SCOPES", "TASK_PARAM_BASELINE"]
 #: Module-prefix scopes per rule code (``None`` would mean "everywhere").
 RULE_SCOPES: dict[str, tuple[str, ...]] = {
     # Unseeded randomness: anywhere a simulation result could absorb it.
-    "DET001": ("repro.netsim", "repro.core", "repro.runner", "repro.workload"),
+    "DET001": (
+        "repro.netsim",
+        "repro.core",
+        "repro.runner",
+        "repro.workload",
+        "repro.obs",
+    ),
     # Wall-clock reads: simulation, runner and experiment layers must be
-    # pure functions of their specs.
+    # pure functions of their specs.  The observability layer is in scope
+    # too — its single sanctioned clock read (``repro.obs.trace.walltime``)
+    # carries an explicit suppression.
     "DET002": (
         "repro.netsim",
         "repro.core",
         "repro.runner",
         "repro.workload",
         "repro.experiments",
+        "repro.obs",
     ),
     # Unordered iteration: same blast radius as DET002.
     "DET003": (
@@ -44,6 +53,7 @@ RULE_SCOPES: dict[str, tuple[str, ...]] = {
         "repro.runner",
         "repro.workload",
         "repro.experiments",
+        "repro.obs",
     ),
     # Content-key hygiene and API hygiene patrol the whole package.
     "KEY001": ("repro",),

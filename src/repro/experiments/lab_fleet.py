@@ -35,7 +35,7 @@ actually needed after content-key dedupe.
 from __future__ import annotations
 
 from collections.abc import Sequence
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 from repro.netsim.fleet import GRANULARITIES, FleetResult, FleetSpec, run_fleet
 
@@ -81,6 +81,10 @@ class FleetBiasComparison:
     truth_tte: float
     spec: FleetSpec
     unique_sims: int
+    #: Engine counters summed across every fleet this comparison ran
+    #: (the two counterfactuals plus one fleet per granularity); the CLI
+    #: surfaces them under ``--trace`` and in ``repro report``.
+    counters: dict[str, int] = field(default_factory=dict)
 
     def granularities(self) -> tuple[str, ...]:
         """Assignment granularities in run order."""
@@ -126,6 +130,8 @@ def run_fleet_experiment(
     quick: bool = False,
     jobs: int = 1,
     cache=None,
+    executor=None,
+    probe_interval_s: float = 0.0,
     seed: int = 0,
 ) -> FleetBiasComparison:
     """Measure the A/B bias of a fleet experiment at several granularities.
@@ -148,6 +154,13 @@ def run_fleet_experiment(
     jobs, cache:
         Worker processes and optional result cache; every fleet's shards
         fan out through the same executor settings.
+    executor:
+        Optional pre-built :class:`~repro.runner.executor.ParallelExecutor`
+        (overrides ``jobs``/``cache``); the CLI passes a traced one so
+        shard spans and live progress flow out of every fleet.
+    probe_interval_s:
+        Sim-time cadence of in-shard queue-depth probing; 0 (default)
+        disables it.  Probing never changes the estimates.
     seed:
         Master seed: derives the treatment assignment and every
         seed-consuming shard's stream.
@@ -167,29 +180,50 @@ def run_fleet_experiment(
     if edges is not None:
         overrides["edges"] = edges
     base = replace(base, seed=seed, **overrides)
+    if probe_interval_s > 0.0:
+        # Keep the knob off the spec when unset: it must stay inert in
+        # shard content keys so probe-free fleets keep their cache.
+        base = replace(base, probe_interval_s=probe_interval_s)
+
+    counters: dict[str, int] = {}
+
+    def fold_counters(result: FleetResult) -> None:
+        for name, value in result.engine_counters().items():
+            counters[name] = counters.get(name, 0) + value
 
     # The counterfactual fleets: at allocation 0/1 the assignment is
     # degenerate (every cluster lands in the same arm no matter how
     # clusters are drawn), so the truth is granularity-independent and
     # computed once.
-    treated_fleet = run_fleet(replace(base, allocation=1.0), jobs=jobs, cache=cache)
-    control_fleet = run_fleet(replace(base, allocation=0.0), jobs=jobs, cache=cache)
+    treated_fleet = run_fleet(
+        replace(base, allocation=1.0), jobs=jobs, cache=cache, executor=executor
+    )
+    control_fleet = run_fleet(
+        replace(base, allocation=0.0), jobs=jobs, cache=cache, executor=executor
+    )
     truth_tte = treated_fleet.mean("treated", "throughput_mbps") - control_fleet.mean(
         "control", "throughput_mbps"
     )
+    fold_counters(treated_fleet)
+    fold_counters(control_fleet)
 
     outcomes: dict[str, FleetOutcome] = {}
     unique = treated_fleet.unique_sims + control_fleet.unique_sims
     for granularity in granularities:
         spec = replace(base, granularity=granularity)
-        result = run_fleet(spec, jobs=jobs, cache=cache)
+        result = run_fleet(spec, jobs=jobs, cache=cache, executor=executor)
         outcomes[granularity] = FleetOutcome(
             granularity=granularity,
             cluster_size=spec.cluster_size(),
             result=result,
         )
         unique += result.unique_sims
+        fold_counters(result)
 
     return FleetBiasComparison(
-        outcomes=outcomes, truth_tte=truth_tte, spec=base, unique_sims=unique
+        outcomes=outcomes,
+        truth_tte=truth_tte,
+        spec=base,
+        unique_sims=unique,
+        counters=counters,
     )

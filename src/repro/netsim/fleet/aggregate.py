@@ -16,7 +16,15 @@ from dataclasses import dataclass, field
 
 from repro.core.analysis import QuantileSketch, StreamingStats
 
-__all__ = ["ARMS", "UNIT_METRICS", "FCT_CELL", "CellStats", "ShardStats", "cell_key"]
+__all__ = [
+    "ARMS",
+    "UNIT_METRICS",
+    "FCT_CELL",
+    "QUEUE_DEPTH_CELL",
+    "CellStats",
+    "ShardStats",
+    "cell_key",
+]
 
 #: Experiment arms (cells are per arm for unit-level metrics).
 ARMS: tuple[str, ...] = ("treated", "control")
@@ -28,6 +36,12 @@ UNIT_METRICS: tuple[str, ...] = ("throughput_mbps", "retransmit_fraction")
 #: unmeasured background load shared by both arms, so it gets one
 #: arm-agnostic cell.
 FCT_CELL = "fleet:fct_s"
+
+#: Cell holding probed queue-depth samples (packets waiting at the edge
+#: bottleneck, one observation per probe instant).  Only present when
+#: the fleet spec enables probing (``probe_interval_s > 0``); bounded by
+#: the sample cadence, so the O(cells) contract holds.
+QUEUE_DEPTH_CELL = "fleet:queue_depth_pkts"
 
 
 def cell_key(arm: str, metric: str) -> str:
@@ -76,6 +90,15 @@ class ShardStats:
     drops: int = 0
     dynamic_flows_started: int = 0
     dynamic_flows_completed: int = 0
+    #: Engine counters folded across shards (uniform for both scheduler
+    #: kinds; see :class:`repro.obs.metrics.EngineCounters`).  Deduped
+    #: shards contribute once per edge they stand for — the "as-if" cost
+    #: of the fleet, not the cache-reduced cost actually paid.
+    events_processed: int = 0
+    pool_reused: int = 0
+    #: Pairwise cell merges performed while folding (the streaming-
+    #: aggregation work metric; 0 for a freshly reduced shard).
+    sketch_merges: int = 0
 
     def cell(self, arm: str, metric: str) -> CellStats:
         """The cell for an (arm, metric) pair; raises KeyError if absent."""
@@ -101,4 +124,7 @@ class ShardStats:
             + other.dynamic_flows_started,
             dynamic_flows_completed=self.dynamic_flows_completed
             + other.dynamic_flows_completed,
+            events_processed=self.events_processed + other.events_processed,
+            pool_reused=self.pool_reused + other.pool_reused,
+            sketch_merges=self.sketch_merges + other.sketch_merges + len(merged_cells),
         )

@@ -67,6 +67,23 @@ class FleetResult:
             return 0
         return self.stats.cells[key].stats.count
 
+    def engine_counters(self) -> dict[str, int]:
+        """Folded engine counters of the fleet, as a flat mapping.
+
+        Counters are folded per *edge* (a deduped shard counts once per
+        edge it stands for), so they report the fleet's as-if simulation
+        cost, not the cache-reduced cost actually paid — ``unique_sims``
+        carries that.
+        """
+        return {
+            "events_processed": self.stats.events_processed,
+            "pool_reused": self.stats.pool_reused,
+            "sketch_merges": self.stats.sketch_merges,
+            "packets": self.stats.packets,
+            "shards": self.stats.shards,
+            "unique_sims": self.unique_sims,
+        }
+
 
 def _shard_seed(spec: FleetSpec, edge: int, consumes_seed: bool) -> int | None:
     """Derived per-shard seed; ``None`` when the shard draws no randomness.
@@ -119,6 +136,13 @@ def shard_specs(spec: FleetSpec) -> tuple[list[ScenarioSpec], FleetCoupling]:
                     "warmup_s": spec.warmup_s,
                     "churn_per_s": spec.churn_per_s,
                     "sketch_compression": spec.sketch_compression,
+                    # Inert-knob rule: probing enters the content key only
+                    # when enabled, so probe-free fleets keep their cache.
+                    **(
+                        {"probe_interval_s": spec.probe_interval_s}
+                        if spec.probe_interval_s > 0.0
+                        else {}
+                    ),
                 },
                 seed=_shard_seed(spec, edge, consumes_seed),
                 label=f"fleet:{spec.granularity}:edge{edge}",

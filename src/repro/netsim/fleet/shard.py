@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from repro.netsim.fleet.aggregate import (
     FCT_CELL,
+    QUEUE_DEPTH_CELL,
     UNIT_METRICS,
     CellStats,
     ShardStats,
@@ -41,15 +42,20 @@ def shard_simulation(
     warmup_s: float,
     churn_per_s: float = 0.0,
     seed: int | None = None,
+    probe_interval_s: float = 0.0,
 ):
     """Run one edge bottleneck's packet simulation and return the raw result.
 
     The full ``PacketSimResult`` this returns is what :func:`run_shard`
     immediately reduces; it is exposed separately so tests can compare
     the reduced statistics against exact values from the same run.
+    ``probe_interval_s > 0`` samples the edge queue at that sim-time
+    cadence (queues only — per-flow series on a fleet shard would break
+    the O(cells) contract); probing never perturbs the simulation.
     """
     from repro.netsim.packet.network import PathConfig
     from repro.netsim.packet.simulation import FlowConfig, simulate
+    from repro.obs.probe import ProbeConfig
 
     path = PathConfig(loss_rate=loss_rate) if loss_rate > 0.0 else None
     flows = [
@@ -87,6 +93,11 @@ def shard_simulation(
         seed=seed,
         scheduler="auto",
         event_batching=True,
+        probe=(
+            ProbeConfig(interval_s=probe_interval_s, include_flows=False)
+            if probe_interval_s > 0.0
+            else None
+        ),
     )
 
 
@@ -103,6 +114,7 @@ def run_shard(
     churn_per_s: float = 0.0,
     sketch_compression: int = 100,
     seed: int | None = None,
+    probe_interval_s: float = 0.0,
 ) -> ShardStats:
     """Simulate one edge bottleneck and return its sufficient statistics."""
     result = shard_simulation(
@@ -117,6 +129,7 @@ def run_shard(
         warmup_s=warmup_s,
         churn_per_s=churn_per_s,
         seed=seed,
+        probe_interval_s=probe_interval_s,
     )
     return reduce_result(result, sketch_compression=sketch_compression)
 
@@ -149,4 +162,20 @@ def reduce_result(result, sketch_compression: int = 100) -> ShardStats:
 
     stats.packets = sum(f.packets_sent for f in result.flows)
     stats.drops = result.total_drops
+
+    # Engine counters and probe samples are optional: tests feed
+    # hand-built result objects through this reduction.
+    engine = getattr(result, "engine", None)
+    if engine is not None:
+        stats.events_processed = engine.events_processed
+        stats.pool_reused = engine.pool_reused
+
+    probe = getattr(result, "probe", None)
+    if probe is not None:
+        depth_cell = CellStats.with_compression(sketch_compression)
+        for record in probe.records:
+            if record.kind == "queue" and "occupancy_packets" in record.fields:
+                depth_cell.add(float(record.fields["occupancy_packets"]))
+        if depth_cell.stats.count:
+            stats.cells[QUEUE_DEPTH_CELL] = depth_cell
     return stats

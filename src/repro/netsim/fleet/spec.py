@@ -76,6 +76,12 @@ class FleetSpec:
     sketch_compression:
         Compression factor of the per-cell quantile sketches
         (:class:`repro.core.analysis.QuantileSketch`).
+    probe_interval_s:
+        Sim-time cadence of in-shard queue-depth probing, in seconds.
+        0 (default) disables probing; when positive every shard samples
+        its edge queue at this cadence and folds the depths into the
+        ``fleet:queue_depth_pkts`` cell.  Probing never perturbs shard
+        results and the knob is inert in content keys when 0.
     seed:
         Master seed: the treatment assignment and every shard's derived
         seed are pure functions of it.
@@ -99,6 +105,7 @@ class FleetSpec:
     warmup_s: float = 1.0
     churn_per_s: float = 0.0
     sketch_compression: int = 100
+    probe_interval_s: float = 0.0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -126,6 +133,8 @@ class FleetSpec:
             raise ValueError("duration_s must exceed warmup_s")
         if self.churn_per_s < 0:
             raise ValueError("churn_per_s must be non-negative")
+        if self.probe_interval_s < 0:
+            raise ValueError("probe_interval_s must be non-negative")
 
     # -- fleet geometry ------------------------------------------------
 

@@ -61,6 +61,10 @@ class EventScheduler:
         #: Lifetime count of callbacks executed (the events/sec numerator
         #: of the performance model; see ``docs/performance.md``).
         self.events_processed = 0
+        #: Lifetime count of events ever inserted (processed + cancelled
+        #: + still pending); part of the uniform counter schema both
+        #: scheduler kinds report (:class:`repro.obs.metrics.EngineCounters`).
+        self.events_scheduled = 0
 
     @property
     def now(self) -> float:
@@ -80,6 +84,7 @@ class EventScheduler:
         event_id = next(self._counter)
         heapq.heappush(self._heap, (float(time), event_id, callback))
         self._pending.add(event_id)
+        self.events_scheduled += 1
         return event_id
 
     def schedule_in(self, delay: float, callback: Callable[[], None]) -> int:
@@ -201,6 +206,8 @@ class CalendarScheduler:
         self._pending: set[int] = set()
         self._cancelled: set[int] = set()
         self.events_processed = 0
+        #: Same contract as :attr:`EventScheduler.events_scheduled`.
+        self.events_scheduled = 0
 
     @classmethod
     def suits(cls, horizon_s: float, bucket_s: float) -> bool:
@@ -237,6 +244,7 @@ class CalendarScheduler:
         else:
             insort(bucket, (time, event_id, callback))
         self._pending.add(event_id)
+        self.events_scheduled += 1
         return event_id
 
     def schedule_in(self, delay: float, callback: Callable[[], None]) -> int:

@@ -39,6 +39,8 @@ from repro.netsim.packet.packets import Packet, PacketPool
 from repro.netsim.packet.queue import QUEUE_DISCIPLINES, QueueDiscipline, make_queue
 from repro.netsim.packet.tcp import make_sender
 from repro.netsim.packet.tcp.base import TcpSender
+from repro.obs.metrics import EngineCounters
+from repro.obs.probe import Probe, ProbeConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.netsim.packet.simulation import FlowConfig, PacketSimResult
@@ -576,8 +578,21 @@ class Network:
 
     # -- execution ------------------------------------------------------------
 
-    def run(self, duration_s: float, warmup_s: float) -> PacketSimResult:
-        """Run the simulation and assemble per-application results."""
+    def run(
+        self,
+        duration_s: float,
+        warmup_s: float,
+        probe: ProbeConfig | None = None,
+    ) -> PacketSimResult:
+        """Run the simulation and assemble per-application results.
+
+        With a ``probe``, the scheduler runs in probe-interval chunks and
+        the network samples read-only snapshots between chunks.  Both
+        scheduler kinds pop the identical event order across repeated
+        ``run(until=t)`` barriers, so the probed run's event sequence —
+        and therefore every result and counter — is byte-identical to the
+        unprobed one (pinned by the golden tests).
+        """
         from repro.netsim.packet.simulation import FlowResult, PacketSimResult
         from repro.netsim.traffic.source import DynamicTrafficResult
 
@@ -603,7 +618,16 @@ class Network:
 
         self.scheduler.schedule(warmup_s, begin_measurements)
         self._schedule_traffic(duration_s)
-        self.scheduler.run(until=duration_s)
+        probe_log = None
+        if probe is None:
+            self.scheduler.run(until=duration_s)
+        else:
+            prober = Probe(probe)
+            for t in prober.sample_times(duration_s):
+                self.scheduler.run(until=t)
+                prober.sample(t, *self._probe_snapshots(probe))
+            self.scheduler.run(until=duration_s)
+            probe_log = prober.log()
 
         results: list[FlowResult] = []
         for config in measured:
@@ -665,4 +689,30 @@ class Network:
             queue_drops={name: q.packets_dropped for name, q in self._queues.items()},
             queue_marks={name: q.packets_marked for name, q in self._queues.items()},
             traffic=traffic,
+            engine=EngineCounters(
+                scheduler=self.scheduler.kind,
+                events_processed=self.scheduler.events_processed,
+                events_scheduled=self.scheduler.events_scheduled,
+                pool_acquired=self._pool.acquired,
+                pool_reused=self._pool.reused,
+                random_losses=self.random_losses,
+            ),
+            probe=probe_log,
         )
+
+    def _probe_snapshots(
+        self, config: ProbeConfig
+    ) -> tuple[dict[str, dict[str, float]], dict[int, dict[str, float]]]:
+        """Snapshot dictionaries for one probe sampling instant.
+
+        The network prepares these so the probe never reaches into
+        simulator objects; disabled kinds yield empty mappings so the
+        snapshot cost is only paid for what the probe records.
+        """
+        queues: dict[str, dict[str, float]] = {}
+        flows: dict[int, dict[str, float]] = {}
+        if config.include_queues:
+            queues = {name: q.probe_snapshot() for name, q in self._queues.items()}
+        if config.include_flows:
+            flows = {cid: s.probe_snapshot() for cid, s in self._senders.items()}
+        return queues, flows

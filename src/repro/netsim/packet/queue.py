@@ -171,6 +171,22 @@ class QueueDiscipline:
         """Serialization time of one packet at the link rate, in seconds."""
         return packet.size_bytes * 8.0 / self._rate_bps
 
+    def probe_snapshot(self) -> dict[str, float]:
+        """Read-only telemetry snapshot for :class:`repro.obs.probe.Probe`.
+
+        Built from the public surface only (properties work for every
+        discipline, including FQ-CoDel's per-flow storage); reading it
+        never mutates queue state, so probing cannot perturb a run.
+        """
+        return {
+            "occupancy_bytes": float(self.occupancy_bytes),
+            "occupancy_packets": float(self.occupancy_packets),
+            "sojourn_s": float(self.queueing_delay()),
+            "packets_dropped": float(self.packets_dropped),
+            "packets_marked": float(self.packets_marked),
+            "bytes_served": float(self.bytes_served),
+        }
+
     # -- discipline hooks ------------------------------------------------------
 
     def _on_arrival(self, packet: Packet, now: float) -> None:

@@ -25,6 +25,8 @@ from typing import TYPE_CHECKING, Any
 
 from repro.netsim.packet.network import Network, PathConfig, QueueConfig
 from repro.netsim.packet.tcp.base import normalize_ecn
+from repro.obs.metrics import EngineCounters
+from repro.obs.probe import ProbeConfig, ProbeLog
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.netsim.traffic.source import DynamicTrafficResult, TrafficSource
@@ -155,6 +157,11 @@ class PacketSimResult:
     #: Per-source lifecycle results of dynamic traffic, keyed by the
     #: source's label (``"source<i>"`` when unset); empty without sources.
     traffic: dict[str, DynamicTrafficResult] = field(default_factory=dict)
+    #: Engine counters of the run (uniform schema for both scheduler
+    #: kinds); ``None`` only for hand-built results in tests.
+    engine: EngineCounters | None = None
+    #: Sampled in-sim telemetry when the run was probed, else ``None``.
+    probe: ProbeLog | None = None
 
     def flow(self, flow_id: int) -> FlowResult:
         """Result of the application with the given id."""
@@ -238,6 +245,7 @@ def simulate(
     scheduler: str = "auto",
     event_batching: bool = False,
     batch_segments: int = 8,
+    probe: ProbeConfig | None = None,
 ) -> PacketSimResult:
     """Run a packet-level simulation of flows sharing a bottleneck.
 
@@ -302,6 +310,12 @@ def simulate(
     batch_segments:
         Macro-packet size cap when ``event_batching`` is on (default 8);
         inert otherwise.
+    probe:
+        In-sim telemetry sampling (:class:`repro.obs.probe.ProbeConfig`).
+        ``None`` (default) disables probing; when set, the result's
+        ``probe`` field carries the sampled :class:`~repro.obs.probe.ProbeLog`.
+        Probing is non-perturbing — flows, drops and counters are
+        byte-identical with it on or off — and inert in content keys.
     """
     if not flows:
         raise ValueError("at least one flow is required")
@@ -331,4 +345,4 @@ def simulate(
         network.add_cross_traffic(config)
     for source in traffic_sources or ():
         network.add_traffic_source(source)
-    return network.run(duration_s=duration_s, warmup_s=warmup_s)
+    return network.run(duration_s=duration_s, warmup_s=warmup_s, probe=probe)

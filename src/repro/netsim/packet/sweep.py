@@ -130,6 +130,7 @@ def run_packet_sweep(
     scheduler: str = "auto",
     event_batching: bool = False,
     batch_segments: int = 8,
+    probe: Any = None,
     jobs: int = 1,
     cache: ResultCache | None = None,
     executor: ParallelExecutor | None = None,
@@ -194,6 +195,12 @@ def run_packet_sweep(
         both knobs enter the content key — batched and unbatched runs
         must not share cache entries; left off they stay out of the key,
         per the inert-knob rule.
+    probe:
+        In-sim telemetry (:class:`repro.obs.probe.ProbeConfig`) attached
+        to every arm.  Probing never changes results, so like every inert
+        knob it enters the content key only when set — but note that a
+        probed arm *does* cache separately from an unprobed one, because
+        the cached result carries the probe log.
     jobs, cache, executor:
         Arms are independent, so they fan out over a
         :class:`~repro.runner.executor.ParallelExecutor` with ``jobs``
@@ -230,6 +237,10 @@ def run_packet_sweep(
         # unbatched runs must not share cache entries.
         extra_params["event_batching"] = True
         extra_params["batch_segments"] = int(batch_segments)
+    if probe is not None:
+        # The simulated outcomes are probe-independent, but the cached
+        # result object carries the probe log, so probed runs key apart.
+        extra_params["probe"] = probe
 
     specs: list[ScenarioSpec] = []
     for k in allocations:

@@ -307,6 +307,24 @@ class TcpSender:
             return 0.0
         return self.measured_bytes_retransmitted / sent
 
+    def probe_snapshot(self) -> dict[str, float]:
+        """Read-only telemetry snapshot for :class:`repro.obs.probe.Probe`.
+
+        Pure reads of public congestion state and lifetime counters
+        (``current_pacing_rate_bps`` is a pure function of them), so
+        sampling between scheduler chunks cannot perturb the run.
+        """
+        return {
+            "cwnd": float(self.cwnd),
+            "srtt_s": float(self.srtt),
+            "inflight": float(self.inflight),
+            "pacing_rate_bps": float(self.current_pacing_rate_bps()),
+            "packets_sent": float(self.packets_sent),
+            "packets_lost": float(self.packets_lost),
+            "packets_marked": float(self.packets_marked),
+            "bytes_acked": float(self.bytes_acked),
+        }
+
     # -- hooks for subclasses ---------------------------------------------------
 
     def on_ack(self, packet: Packet, rtt_sample: float) -> None:

@@ -1,0 +1,87 @@
+"""cProfile hooks: per-task hotspot rows, cross-process merge, rendering.
+
+Runner tasks executed under ``--profile`` are wrapped in a
+:class:`cProfile.Profile`; instead of shipping pickled ``pstats`` state
+across the process boundary, each worker reduces its profile to plain
+*hotspot rows* — ``(function label, ncalls, tottime, cumtime)`` tuples —
+which the parent merges by summing per function and renders as a top-N
+table.  Rows are plain tuples so they pickle cheaply and serialize to
+JSON without ceremony.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from collections.abc import Callable, Iterable, Sequence
+from typing import Any
+
+__all__ = ["ProfileRow", "run_profiled", "top_rows", "merge_profile_rows", "format_hotspots"]
+
+#: One hotspot: (function label, ncalls, tottime seconds, cumtime seconds).
+ProfileRow = tuple[str, int, float, float]
+
+#: Rows kept per profiled task before the merge (the merge re-ranks).
+DEFAULT_ROW_LIMIT = 60
+
+
+def _function_label(filename: str, lineno: int, func_name: str) -> str:
+    """Compact ``path:line(function)`` label, trimmed to the last two path parts."""
+    if filename.startswith("~"):  # pstats' marker for builtins
+        return func_name
+    parts = filename.replace("\\", "/").split("/")
+    short = "/".join(parts[-2:]) if len(parts) > 1 else filename
+    return f"{short}:{lineno}({func_name})"
+
+
+def top_rows(profiler: cProfile.Profile, limit: int = DEFAULT_ROW_LIMIT) -> tuple[ProfileRow, ...]:
+    """Reduce a finished profiler to its top rows by total time."""
+    stats = pstats.Stats(profiler)
+    rows: list[ProfileRow] = []
+    for (filename, lineno, func_name), entry in stats.stats.items():  # type: ignore[attr-defined]
+        _cc, ncalls, tottime, cumtime, _callers = entry
+        rows.append((_function_label(filename, lineno, func_name), int(ncalls), float(tottime), float(cumtime)))
+    rows.sort(key=lambda row: (-row[2], row[0]))
+    return tuple(rows[:limit])
+
+
+def run_profiled(
+    fn: Callable[[], Any], limit: int = DEFAULT_ROW_LIMIT
+) -> tuple[Any, tuple[ProfileRow, ...]]:
+    """Run ``fn`` under cProfile; return its result and the hotspot rows."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn()
+    finally:
+        profiler.disable()
+    return result, top_rows(profiler, limit=limit)
+
+
+def merge_profile_rows(groups: Iterable[Sequence[Sequence[Any]]]) -> list[ProfileRow]:
+    """Merge hotspot rows from many tasks by summing per function.
+
+    Accepts any nesting of row sequences (tuples from workers, lists from
+    JSON round-trips) and returns rows ranked by summed total time.
+    """
+    totals: dict[str, list[float]] = {}
+    for rows in groups:
+        for label, ncalls, tottime, cumtime in rows:
+            bucket = totals.setdefault(str(label), [0.0, 0.0, 0.0])
+            bucket[0] += int(ncalls)
+            bucket[1] += float(tottime)
+            bucket[2] += float(cumtime)
+    merged = [
+        (label, int(bucket[0]), bucket[1], bucket[2])
+        for label, bucket in totals.items()
+    ]
+    merged.sort(key=lambda row: (-row[2], row[0]))
+    return merged
+
+
+def format_hotspots(rows: Sequence[Sequence[Any]], top: int = 15) -> str:
+    """Render hotspot rows as a fixed-width table (top N by total time)."""
+    lines = [f"{'tottime':>9}  {'cumtime':>9}  {'ncalls':>10}  function"]
+    for label, ncalls, tottime, cumtime in list(rows)[:top]:
+        lines.append(f"{tottime:>8.3f}s  {cumtime:>8.3f}s  {int(ncalls):>10,}  {label}")
+    return "\n".join(lines)

@@ -5,17 +5,27 @@ fan the misses out over a process pool (or run them inline for
 ``jobs=1``), store fresh results back into the cache, and return results
 in spec order.  Because every spec carries its own seed, the results are
 bit-identical regardless of ``jobs``.
+
+Observability (all off by default, and the untraced path is exactly the
+historical code): a :class:`~repro.obs.trace.RunTracer` receives task
+spans and cache hit/miss events, ``profile=True`` wraps each task body
+in cProfile, and ``on_task_done`` delivers live progress callbacks —
+``(done, total, run)`` — as tasks complete.  None of these change what
+is executed or cached, only what is observed about it.
 """
 
 from __future__ import annotations
 
 import os
-from collections.abc import Iterable, Sequence
-from concurrent.futures import ProcessPoolExecutor
-from typing import Any
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import TYPE_CHECKING, Any
 
 from repro.runner.cache import ResultCache
 from repro.runner.spec import ScenarioSpec, content_key, run_spec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import RunTracer, TaskRun
 
 __all__ = ["ParallelExecutor", "run_specs"]
 
@@ -37,13 +47,35 @@ class ParallelExecutor:
     cache:
         Optional :class:`ResultCache`.  Hits skip execution entirely;
         fresh results are stored after execution.
+    tracer:
+        Optional :class:`~repro.obs.trace.RunTracer`: receives a span per
+        executed task and a cache event per lookup.
+    profile:
+        Wrap each executed task in cProfile; the hotspot rows travel back
+        on the task spans (requires a ``tracer`` to go anywhere).
+    on_task_done:
+        Optional live-progress callback, invoked in the parent process as
+        ``on_task_done(done, total, run)`` after each task completes.
     """
 
-    def __init__(self, jobs: int | None = 1, cache: ResultCache | None = None):
+    def __init__(
+        self,
+        jobs: int | None = 1,
+        cache: ResultCache | None = None,
+        tracer: RunTracer | None = None,
+        profile: bool = False,
+        on_task_done: Callable[[int, int, TaskRun], None] | None = None,
+    ):
         if jobs is None or jobs < 1:
             jobs = os.cpu_count() or 1
         self.jobs = int(jobs)
         self.cache = cache
+        self.tracer = tracer
+        self.profile = profile
+        self.on_task_done = on_task_done
+
+    def _observing(self) -> bool:
+        return self.tracer is not None or self.profile or self.on_task_done is not None
 
     def run(self, spec: ScenarioSpec) -> Any:
         """Execute a single spec (through the cache if one is set)."""
@@ -63,13 +95,19 @@ class ParallelExecutor:
                 key = content_key(spec)
                 keys[i] = key
                 hit, value = self.cache.get(key)
+                if self.tracer is not None:
+                    self.tracer.cache_event(hit, spec.label or spec.task)
                 if hit:
                     results[i] = value
                 else:
                     pending.append(i)
 
         if pending:
-            fresh = self._execute_pending([specs[i] for i in pending])
+            to_run = [specs[i] for i in pending]
+            if self._observing():
+                fresh = self._execute_observed(to_run)
+            else:
+                fresh = self._execute_pending(to_run)
             for i, value in zip(pending, fresh):
                 results[i] = value
                 if self.cache is not None:
@@ -82,6 +120,38 @@ class ParallelExecutor:
         workers = min(self.jobs, len(specs))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(_execute, specs))
+
+    def _execute_observed(self, specs: Sequence[ScenarioSpec]) -> list[Any]:
+        """Execute with tracing/profiling/progress; same results, observed."""
+        from repro.obs.trace import TaskRun, observe_spec
+
+        total = len(specs)
+        results: list[Any] = [None] * total
+        done = 0
+
+        def fold(index: int, run: TaskRun) -> None:
+            nonlocal done
+            done += 1
+            results[index] = run.result
+            if self.tracer is not None:
+                self.tracer.task(run)
+            if self.on_task_done is not None:
+                self.on_task_done(done, total, run)
+
+        if self.jobs == 1 or total == 1:
+            for index, spec in enumerate(specs):
+                fold(index, observe_spec(spec, self.profile))
+            return results
+
+        workers = min(self.jobs, total)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(observe_spec, spec, self.profile): index
+                for index, spec in enumerate(specs)
+            }
+            for future in as_completed(futures):
+                fold(futures[future], future.result())
+        return results
 
 
 def run_specs(

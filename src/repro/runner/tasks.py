@@ -60,6 +60,7 @@ def packet_arm(
     scheduler: str = "auto",
     event_batching: bool = False,
     batch_segments: int = 8,
+    probe: Any = None,
 ) -> Any:
     """One packet-level simulation arm (a fixed set of flow configs).
 
@@ -70,7 +71,8 @@ def packet_arm(
     dynamic churn (finite flows spawning and retiring at runtime).
     ``scheduler`` selects the event engine (order-identical, never
     changes results); ``event_batching``/``batch_segments`` enable the
-    approximate macro-packet fast path.
+    approximate macro-packet fast path; ``probe`` attaches non-perturbing
+    in-sim telemetry (a :class:`repro.obs.probe.ProbeConfig`).
     """
     from repro.netsim.packet.simulation import simulate
 
@@ -91,6 +93,7 @@ def packet_arm(
         scheduler=scheduler,
         event_batching=event_batching,
         batch_segments=batch_segments,
+        probe=probe,
     )
 
 
@@ -108,11 +111,14 @@ def fleet_shard_arm(
     churn_per_s: float = 0.0,
     sketch_compression: int = 100,
     seed: int | None = None,
+    probe_interval_s: float = 0.0,
 ) -> Any:
     """One fleet shard: an edge-bottleneck packet sim reduced to statistics.
 
     Returns a :class:`~repro.netsim.fleet.aggregate.ShardStats`, never the
     raw simulation result — the O(cells) contract of the fleet engine.
+    ``probe_interval_s > 0`` samples queue depth at that sim-time cadence
+    and folds it into the stats (still O(cells), never per-flow).
     """
     from repro.netsim.fleet.shard import run_shard
 
@@ -129,6 +135,7 @@ def fleet_shard_arm(
         churn_per_s=churn_per_s,
         sketch_compression=sketch_compression,
         seed=seed,
+        probe_interval_s=probe_interval_s,
     )
 
 

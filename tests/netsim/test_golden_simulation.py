@@ -111,6 +111,31 @@ class TestGoldenOutput:
         ]
         assert runs[0] == runs[1] == runs[2]
 
+    def test_probe_does_not_perturb_golden_run(self):
+        # Telemetry on must not move a single golden float or counter:
+        # the probe barriers pop the exact same event order as a single
+        # scheduler run.
+        from repro.obs import ProbeConfig
+
+        probed = simulate(
+            _mixed_flows(),
+            capacity_mbps=30.0,
+            base_rtt_ms=20.0,
+            buffer_bdp=1.0,
+            duration_s=6.0,
+            warmup_s=2.0,
+            probe=ProbeConfig(interval_s=0.5),
+        )
+        observed = [
+            (f.flow_id, f.throughput_mbps, f.retransmit_fraction, f.packets_sent, f.packets_lost)
+            for f in probed.flows
+        ]
+        assert observed == GOLDEN_MIXED  # exact equality, no approx
+        assert probed.total_drops == GOLDEN_MIXED_DROPS
+        assert probed.max_queue_occupancy_bytes == GOLDEN_MIXED_MAX_OCCUPANCY
+        assert probed.probe is not None
+        assert len(probed.probe.sample_times) == 12  # 6 s at 0.5 s cadence
+
 
 class TestGoldenSweepCells:
     def test_quick_aqm_bias_cells_stable(self):

@@ -28,6 +28,11 @@ The package is organised in four layers:
 ``repro.experiments``
     End-to-end harnesses that re-run every experiment in the paper and
     return the rows/series behind each figure.
+
+Cross-cutting layers: ``repro.runner`` (content-keyed parallel
+execution), ``repro.campaign`` (declarative multi-figure campaigns,
+``repro run campaign.yaml``), ``repro.obs`` (tracing/profiling) and
+``repro.api`` (the stable programmatic facade).
 """
 
 from repro.core.assignment import (
@@ -44,7 +49,7 @@ from repro.core.estimators import (
 )
 from repro.core.units import OutcomeTable, Session, Unit
 
-__version__ = "1.9.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "Assignment",

@@ -1,0 +1,94 @@
+"""Stable Python API facade for driving reproductions programmatically.
+
+Everything a script needs to load, run and validate campaigns without
+reaching into submodules::
+
+    from repro import api
+
+    campaign = api.load_campaign("examples/campaign_quick.yaml")
+    result = api.run_campaign(campaign, jobs=4, cache=api.ResultCache())
+    report = api.validate_run("RUN")
+
+The facade re-exports the frozen spec types (:class:`CampaignSpec`,
+:class:`StageSpec`, :class:`ScenarioSpec`, ...) and the runner
+primitives they lower onto, plus :func:`list_figures` for discovering
+the sweepable figure names.  Import from here rather than from the
+implementation modules: these names are the package's compatibility
+surface.
+"""
+
+from __future__ import annotations
+
+from repro.campaign.loader import CampaignError, load_campaign, parse_campaign
+from repro.campaign.run import (
+    ArmResult,
+    CampaignResult,
+    confidence_half_width,
+    run_campaign,
+    write_run_dir,
+)
+from repro.campaign.spec import (
+    AnalysisSettings,
+    CampaignArm,
+    CampaignSpec,
+    StageSpec,
+    figure_is_seeded,
+    figure_knobs,
+)
+from repro.campaign.validate import ValidationReport, validate_run
+from repro.runner.cache import ResultCache, default_cache_dir
+from repro.runner.executor import ParallelExecutor
+from repro.runner.spec import ScenarioSpec, canonical, content_key
+
+__all__ = [
+    "AnalysisSettings",
+    "ArmResult",
+    "CampaignArm",
+    "CampaignError",
+    "CampaignResult",
+    "CampaignSpec",
+    "ParallelExecutor",
+    "ResultCache",
+    "ScenarioSpec",
+    "StageSpec",
+    "ValidationReport",
+    "canonical",
+    "confidence_half_width",
+    "content_key",
+    "default_cache_dir",
+    "figure_is_seeded",
+    "figure_knobs",
+    "figure_spec",
+    "list_figures",
+    "load_campaign",
+    "parse_campaign",
+    "run_campaign",
+    "validate_run",
+    "write_run_dir",
+]
+
+
+def list_figures() -> tuple[str, ...]:
+    """The sweepable figure names campaigns and ``repro sweep`` accept."""
+    from repro.runner.tasks import FIGURE_CELL_TASKS
+
+    return tuple(FIGURE_CELL_TASKS)
+
+
+def figure_spec(figure: str, **knobs: object) -> ScenarioSpec:
+    """One content-keyed ``figure.cells`` arm for ``figure``.
+
+    Thin wrapper over the per-figure entry points in
+    :data:`repro.experiments.FIGURE_SPECS`; accepts that figure's knobs
+    (``noise=`` for lab figures, ``quick=`` for the rest, ``seed=`` for
+    seeded figures).
+    """
+    from repro.experiments import FIGURE_SPECS
+
+    try:
+        entry = FIGURE_SPECS[figure]
+    except KeyError:
+        raise KeyError(
+            f"unknown figure {figure!r}; choose one of {list_figures()}"
+        ) from None
+    return entry(**knobs)

@@ -1,8 +1,8 @@
-"""Command-line interface: reproduce any of the paper's figures from a shell.
+"""Command-line interface: reproduce figures, sweeps and whole campaigns.
 
-Usage::
+The CLI is a family of subcommands::
 
-    repro list                       # list available figures
+    repro list                       # enumerate figures and tools
     repro fig2a                      # parallel-connections lab figure
     repro fig5 --quick               # paired-link treatment-effect table
     repro fig10 --seed 11 --jobs 4   # design comparison, 4 worker processes
@@ -14,17 +14,12 @@ Usage::
     repro topo_l4s --quick           # does L4S/DCTCP marking shrink the bias?
     repro fleet --quick --jobs 4     # sharded fleet: bias vs cluster size
     repro sweep fig5 --replications 5 --jobs 4   # multi-seed mean ± CI
+    repro run campaign.yaml --jobs 4 --trace RUN # declarative campaign
+    repro validate RUN               # check a campaign run directory
     repro lint src                   # invariant linter (see docs/invariants.md)
-    repro fleet --quick --trace RUN --profile --probe 0.5  # traced + profiled run
     repro report RUN                 # render a traced run directory
 
-``--trace DIR`` records runner-level spans and cache events to a run
-directory (JSONL + Chrome trace-event JSON, openable in Perfetto),
-``--profile`` adds per-task cProfile hotspots, and ``--probe SECONDS``
-samples in-sim telemetry on fleet shards — all without changing any
-simulated result (see ``docs/observability.md``).
-
-Every figure command prints the same rows/series the corresponding
+Every figure subcommand prints the same rows/series the corresponding
 benchmark asserts on; ``--quick`` shrinks the synthetic workload for
 faster runs.  ``--jobs N`` fans independent simulation arms out over N
 worker processes (results are bit-identical to ``--jobs 1``), and
@@ -32,7 +27,17 @@ worker processes (results are bit-identical to ``--jobs 1``), and
 
 ``repro sweep FIGURE`` runs ``--replications`` seeds of one figure
 through the parallel runner and reports each scalar cell's mean with a
-95 % confidence interval across seeds.
+95 % confidence interval across seeds.  ``repro run CAMPAIGN`` scales
+that up to a declarative YAML/JSON campaign file — many figures, knob
+sweeps and seed grids in one command (see ``docs/campaigns.md``) — and
+``repro validate RUNDIR`` replays the resulting ``manifest.json``.
+
+``--trace DIR`` (on ``sweep``, ``fleet`` and ``run``) records runner
+spans and cache events to a run directory, ``--profile`` adds per-task
+cProfile hotspots, and ``--probe SECONDS`` samples in-sim telemetry on
+fleet shards — all without changing any simulated result (see
+``docs/observability.md``).  Each flag lives only on the subcommands it
+applies to, so an inapplicable flag is a parse error, not a silent no-op.
 """
 
 from __future__ import annotations
@@ -40,6 +45,7 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 import numpy as np
 
@@ -65,7 +71,7 @@ from repro.runner import ParallelExecutor, ResultCache, ScenarioSpec, default_ca
 from repro.runner.tasks import FIGURE_CELL_TASKS
 from repro.workload import WorkloadConfig
 
-__all__ = ["main"]
+__all__ = ["build_parser", "main"]
 
 #: Figures that only need the fluid lab simulator.
 LAB_FIGURES = {
@@ -93,6 +99,26 @@ SEEDED_TOPOLOGY_FIGURES = ("topo_churn",)
 
 #: The sharded packet/fluid fleet experiment (bias vs cluster size).
 FLEET_FIGURES = ("fleet",)
+
+#: One-line help per figure subcommand (shown in ``repro --help``).
+_FIGURE_HELP = {
+    "fig2a": "parallel-connections lab figure (Figure 2a)",
+    "fig2b": "pacing lab figure (Figure 2b)",
+    "fig3": "Cubic-vs-BBR lab figure (Figure 3)",
+    "baseline": "Section 4.1 baseline link-similarity table",
+    "fig5": "paired-link treatment-effect table (Figure 5)",
+    "fig7": "paired-link throughput cells (Figure 7)",
+    "fig8": "paired-link min-RTT cells (Figure 8)",
+    "fig9": "paired-link retransmission split (Figure 9)",
+    "fig10": "switchback / event-study design comparison (Figure 10)",
+    "topo_rtt": "A/B bias under heterogeneous RTTs",
+    "topo_aqm": "A/B bias under AQM (CoDel/RED) vs drop-tail",
+    "topo_parking": "parking-lot bias and cross-segment spillover",
+    "topo_fq": "per-flow FQ-CoDel vs drop-tail bias",
+    "topo_churn": "bias under flow churn + switchback-vs-ramp",
+    "topo_l4s": "L4S/DCTCP marking vs classic AQM bias",
+    "fleet": "sharded fleet: bias vs assignment cluster size",
+}
 
 
 def _make_cache(args: argparse.Namespace) -> ResultCache | None:
@@ -201,7 +227,7 @@ def _print_topology_figure(
     elif name == "topo_fq":
         # topo_fq has its own discipline default (droptail vs fq_codel);
         # an explicit --disciplines still overrides it.
-        if args.disciplines != parser.get_default("disciplines"):
+        if args.disciplines is not None:
             disciplines = _parse_disciplines(args.disciplines, parser)
         else:
             disciplines = ("droptail", "fq_codel")
@@ -224,15 +250,18 @@ def _print_topology_figure(
 def _command_line(args: argparse.Namespace) -> str:
     """Reconstruct a readable command line for the trace metadata."""
     parts = ["repro", args.figure]
-    if args.target:
-        parts.append(args.target)
-    if args.quick:
+    for attribute in ("campaign_file", "target"):
+        value = getattr(args, attribute, None)
+        if value:
+            parts.append(str(value))
+    if getattr(args, "quick", False):
         parts.append("--quick")
-    if args.jobs != 1:
+    if getattr(args, "jobs", 1) != 1:
         parts.append(f"--jobs {args.jobs}")
-    if getattr(args, "probe", None):
-        parts.append(f"--probe {args.probe:g}")
-    if args.profile:
+    probe = getattr(args, "probe", None)
+    if probe:
+        parts.append(f"--probe {probe:g}")
+    if getattr(args, "profile", False):
         parts.append("--profile")
     return " ".join(parts)
 
@@ -397,17 +426,6 @@ def _print_paired_figure(name: str, args: argparse.Namespace) -> None:
         raise KeyError(name)
 
 
-def _confidence_half_width(values: np.ndarray, confidence: float = 0.95) -> float:
-    """Half-width of the t-based CI on the mean of ``values``."""
-    n = len(values)
-    if n < 2:
-        return 0.0
-    from scipy import stats
-
-    std = float(np.std(values, ddof=1))
-    return float(stats.t.ppf(0.5 + confidence / 2.0, n - 1) * std / np.sqrt(n))
-
-
 def _run_sweep(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     target = args.target
     if target is None or target not in FIGURE_CELL_TASKS:
@@ -416,6 +434,8 @@ def _run_sweep(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
         )
     if args.replications < 1:
         parser.error("--replications must be at least 1")
+    if args.profile and args.trace is None:
+        parser.error("--profile requires --trace DIR (hotspots land in the trace)")
 
     # Only include knobs the figure actually consumes: noise applies to lab
     # figures, quick to paired-link and topology figures.  Keeping inert
@@ -456,11 +476,13 @@ def _run_sweep(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
         tracer.finish({"figure": target, "replications": replication_count})
         print(f"trace written to {args.trace}", file=sys.stderr)
 
+    from repro.campaign.run import confidence_half_width
+
     cells = list(replications[0])
     rows = []
     for cell in cells:
         values = np.array([float(rep[cell]) for rep in replications])
-        half = _confidence_half_width(values)
+        half = confidence_half_width(values)
         rows.append([cell, f"{values.mean():+.3f}", f"±{half:.3f}", str(len(values))])
     if deterministic:
         print(f"{target}: deterministic figure, 1 replication (seeds have no effect)")
@@ -473,198 +495,362 @@ def _run_sweep(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
     return 0
 
 
+def _run_campaign_command(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    """``repro run CAMPAIGN``: execute a declarative campaign file."""
+    from repro.campaign import CampaignError, load_campaign, run_campaign
+
+    if args.profile and args.trace is None:
+        parser.error("--profile requires --trace DIR (hotspots land in the trace)")
+    try:
+        campaign = load_campaign(args.campaign_file)
+    except CampaignError as exc:
+        parser.error(str(exc))
+    tracer = _make_tracer(args)
+    cache = _make_cache(args)
+    result = run_campaign(
+        campaign,
+        jobs=args.jobs,
+        cache=cache,
+        tracer=tracer,
+        profile=args.profile,
+        rundir=args.trace,
+    )
+    print("\n".join(result.summary_lines()))
+    if cache is not None:
+        print(
+            f"cache: {result.cache_hits} hit(s), {result.cache_misses} miss(es)",
+            file=sys.stderr,
+        )
+    if tracer is not None:
+        tracer.finish(
+            {
+                "campaign": campaign.name,
+                "stages": len(campaign.stages),
+                "arms": len(result.arms),
+                "unique_arms": result.unique_arms,
+            }
+        )
+        print(f"trace written to {args.trace}", file=sys.stderr)
+    return 0
+
+
+def _run_validate_command(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    """``repro validate RUNDIR``: check a campaign run directory."""
+    from repro.campaign import CampaignError, load_campaign, validate_run
+
+    campaign = None
+    if args.campaign:
+        try:
+            campaign = load_campaign(args.campaign)
+        except CampaignError as exc:
+            parser.error(str(exc))
+    rundir = Path(args.rundir)
+    if not rundir.is_dir():
+        print(f"error: {rundir} is not a directory", file=sys.stderr)
+        return 2
+    report = validate_run(rundir, campaign=campaign)
+    print("\n".join(report.summary_lines()))
+    return 0 if report.ok else 1
+
+
+def _run_list_command() -> int:
+    """``repro list``: enumerate figures, campaign commands and tools."""
+    print("lab figures:        " + ", ".join(sorted(LAB_FIGURES)))
+    print("paired-link figures: " + ", ".join(PAIRED_FIGURES))
+    print("topology figures:    " + ", ".join(TOPOLOGY_FIGURES))
+    print("fleet figures:       " + ", ".join(FLEET_FIGURES))
+    print("sweepable figures:   " + ", ".join(FIGURE_CELL_TASKS))
+    print(
+        "campaigns:           run (repro run campaign.yaml --jobs N --trace RUN), "
+        "validate (repro validate RUN)"
+    )
+    print(
+        "tools:               lint (invariant linter; repro lint --list-rules), "
+        "report (render a --trace run directory)"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
-    """Build the CLI argument parser."""
+    """Build the subcommand-structured CLI argument parser.
+
+    Every figure is its own subcommand sharing the common execution
+    flags; scoped flags (``--trace``, ``--probe``, sweep knobs, topology
+    knobs) exist only on the subcommands that consume them.
+    """
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--quick", action="store_true", help="use a smaller synthetic workload"
+    )
+    common.add_argument("--seed", type=int, default=7, help="workload random seed")
+    common.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent simulation arms (default: 1)",
+    )
+    common.add_argument(
+        "--cache",
+        action="store_true",
+        help="reuse results of unchanged runs from the on-disk cache",
+    )
+    common.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+
+    tracing = argparse.ArgumentParser(add_help=False)
+    tracing.add_argument(
+        "--trace",
+        metavar="DIR",
+        default=None,
+        help=(
+            "write run tracing (task spans, cache events; JSONL + Chrome "
+            "trace-event JSON) to this directory; render it afterwards "
+            "with 'repro report DIR'"
+        ),
+    )
+    tracing.add_argument(
+        "--profile",
+        action="store_true",
+        help="wrap each runner task in cProfile (requires --trace)",
+    )
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
             "Reproduce figures from 'Unbiased Experiments in Congested Networks' (IMC 2021)."
         ),
     )
-    parser.add_argument(
-        "figure",
-        choices=[
-            "list",
-            "sweep",
-            *LAB_FIGURES,
-            *PAIRED_FIGURES,
-            *TOPOLOGY_FIGURES,
-            *FLEET_FIGURES,
-        ],
-        help="which figure to reproduce ('list' to enumerate, 'sweep' to replicate one)",
+    parser.set_defaults(target=None)
+    subparsers = parser.add_subparsers(
+        dest="figure", required=True, metavar="command"
     )
-    parser.add_argument(
+
+    list_parser = subparsers.add_parser(
+        "list", help="enumerate figures, campaign commands and tools"
+    )
+    list_parser.set_defaults(_subparser=list_parser)
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        parents=[common, tracing],
+        help="replicate one figure across seeds and report mean ± CI per cell",
+    )
+    sweep.add_argument(
         "target",
         nargs="?",
         default=None,
-        help="for 'sweep': the figure to replicate across seeds",
+        help="the figure to replicate across seeds",
     )
-    parser.add_argument(
-        "--quick", action="store_true", help="use a smaller synthetic workload"
+    sweep.add_argument(
+        "--replications",
+        type=int,
+        default=5,
+        help="number of seeds (default: 5)",
     )
-    parser.add_argument("--seed", type=int, default=7, help="workload random seed")
-    parser.add_argument(
+    sweep.add_argument(
+        "--noise",
+        type=float,
+        default=0.02,
+        help="measurement-noise level for lab figures (default: 0.02)",
+    )
+    sweep.set_defaults(_subparser=sweep)
+
+    run_parser = subparsers.add_parser(
+        "run",
+        parents=[tracing],
+        help="execute a declarative campaign file (YAML/JSON)",
+    )
+    run_parser.add_argument(
+        "campaign_file",
+        metavar="CAMPAIGN",
+        help="campaign file declaring stages, knobs and seed grids",
+    )
+    run_parser.add_argument(
         "--jobs",
         type=int,
         default=1,
         help="worker processes for independent simulation arms (default: 1)",
     )
-    parser.add_argument(
-        "--replications",
-        type=int,
-        default=5,
-        help="number of seeds for 'sweep' (default: 5)",
+    run_parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="reuse results of unchanged arms from the on-disk cache",
     )
-    parser.add_argument(
-        "--noise",
-        type=float,
-        default=0.02,
-        help="measurement-noise level for lab figures under 'sweep' (default: 0.02)",
+    run_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
     )
-    parser.add_argument(
-        "--rtt-spread",
-        default="10,20,40,80",
-        help="per-unit RTT profile for topo_rtt, comma-separated ms (default: 10,20,40,80)",
+    run_parser.set_defaults(_subparser=run_parser)
+
+    validate = subparsers.add_parser(
+        "validate",
+        help="check a campaign run directory (manifest vs results vs package)",
     )
-    parser.add_argument(
-        "--disciplines",
-        default="droptail,codel",
-        help=(
-            "queue disciplines compared by topo_aqm (default: droptail,codel) "
-            "and topo_fq (default there: droptail,fq_codel)"
-        ),
+    validate.add_argument(
+        "rundir",
+        metavar="RUNDIR",
+        help="run directory written by 'repro run ... --trace RUNDIR'",
     )
-    parser.add_argument(
-        "--segments",
-        type=int,
-        default=4,
-        help="bottleneck segments in the topo_parking chain (default: 4)",
+    validate.add_argument(
+        "--campaign",
+        metavar="CAMPAIGN",
+        default=None,
+        help="also check the run against this campaign file's content key",
     )
-    parser.add_argument(
-        "--churn-rates",
-        default="0,2,6",
-        help=(
-            "churn intensities compared by topo_churn, comma-separated flow "
-            "arrivals per second (default: 0,2,6; include 0 for the static "
-            "reference)"
-        ),
+    validate.set_defaults(_subparser=validate)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="AST invariant linter (determinism, content-key and API hygiene)",
     )
-    parser.add_argument(
-        "--traffic-split",
-        type=float,
-        default=1.0,
-        help=(
-            "within-interval allocation of topo_churn's switchback-ramp "
-            "scenario, in (0.5, 1]: 1 (default) runs pure 100/0 intervals, "
-            "0.95 the production 95/5 variant (scales the unit count up so "
-            "the 5%% arm keeps a unit — markedly slower)"
-        ),
+    from repro.devtools.lint.engine import configure_parser as configure_lint_parser
+
+    configure_lint_parser(lint)
+    lint.set_defaults(_subparser=lint)
+
+    report = subparsers.add_parser(
+        "report", help="render a report for a traced run directory"
     )
-    parser.add_argument(
+    from repro.obs.report import configure_parser as configure_report_parser
+
+    configure_report_parser(report)
+    report.set_defaults(_subparser=report)
+
+    for name in (*LAB_FIGURES, *PAIRED_FIGURES):
+        figure = subparsers.add_parser(
+            name, parents=[common], help=_FIGURE_HELP[name]
+        )
+        figure.set_defaults(_subparser=figure)
+
+    for name in TOPOLOGY_FIGURES:
+        figure = subparsers.add_parser(
+            name, parents=[common], help=_FIGURE_HELP[name]
+        )
+        if name == "topo_rtt":
+            figure.add_argument(
+                "--rtt-spread",
+                default="10,20,40,80",
+                help="per-unit RTT profile, comma-separated ms (default: 10,20,40,80)",
+            )
+        if name == "topo_aqm":
+            figure.add_argument(
+                "--disciplines",
+                default="droptail,codel",
+                help="queue disciplines to compare (default: droptail,codel)",
+            )
+        if name == "topo_fq":
+            figure.add_argument(
+                "--disciplines",
+                default=None,
+                help="queue disciplines to compare (default: droptail,fq_codel)",
+            )
+        if name == "topo_parking":
+            figure.add_argument(
+                "--segments",
+                type=int,
+                default=4,
+                help="bottleneck segments in the parking-lot chain (default: 4)",
+            )
+        if name == "topo_churn":
+            figure.add_argument(
+                "--churn-rates",
+                default="0,2,6",
+                help=(
+                    "churn intensities, comma-separated flow arrivals per "
+                    "second (default: 0,2,6; include 0 for the static "
+                    "reference)"
+                ),
+            )
+            figure.add_argument(
+                "--traffic-split",
+                type=float,
+                default=1.0,
+                help=(
+                    "within-interval allocation of the switchback-ramp "
+                    "scenario, in (0.5, 1]: 1 (default) runs pure 100/0 "
+                    "intervals, 0.95 the production 95/5 variant (scales the "
+                    "unit count up so the 5%% arm keeps a unit — markedly "
+                    "slower)"
+                ),
+            )
+        figure.set_defaults(_subparser=figure)
+
+    fleet = subparsers.add_parser(
+        "fleet", parents=[common, tracing], help=_FIGURE_HELP["fleet"]
+    )
+    fleet.add_argument(
         "--units",
         type=int,
         default=None,
-        help="fleet size for 'fleet' (default: 20000, or 10000 with --quick)",
+        help="fleet size (default: 20000, or 10000 with --quick)",
     )
-    parser.add_argument(
+    fleet.add_argument(
         "--edges",
         type=int,
         default=None,
-        help="edge bottlenecks for 'fleet' (default: 200, or 100 with --quick)",
+        help="edge bottlenecks (default: 200, or 100 with --quick)",
     )
-    parser.add_argument(
+    fleet.add_argument(
         "--granularity",
         choices=["unit", "edge", "region", "all"],
         default="all",
-        help="assignment granularity compared by 'fleet' (default: all three)",
+        help="assignment granularity to compare (default: all three)",
     )
-    parser.add_argument(
-        "--trace",
-        metavar="DIR",
-        default=None,
-        help=(
-            "write run tracing (task spans, cache events; JSONL + Chrome "
-            "trace-event JSON) to this directory — 'sweep' and 'fleet' only; "
-            "render it afterwards with 'repro report DIR'"
-        ),
-    )
-    parser.add_argument(
-        "--profile",
-        action="store_true",
-        help="wrap each runner task in cProfile (requires --trace)",
-    )
-    parser.add_argument(
+    fleet.add_argument(
         "--probe",
         type=float,
         metavar="SECONDS",
         default=None,
         help=(
             "sample in-sim queue depth on every fleet shard at this simulated-"
-            "time cadence ('fleet' only; never changes results)"
+            "time cadence (never changes results)"
         ),
     )
-    parser.add_argument(
-        "--cache",
-        action="store_true",
-        help="reuse results of unchanged runs from the on-disk cache",
-    )
-    parser.add_argument(
-        "--cache-dir",
-        default=None,
-        help="cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
-    )
+    fleet.set_defaults(_subparser=fleet)
+
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point.  Returns a process exit code."""
     arguments = list(sys.argv[1:] if argv is None else argv)
-    if arguments and arguments[0] == "lint":
-        # The invariant linter has its own option surface (paths,
-        # --select, --list-rules), so it dispatches before the figure
-        # parser sees the arguments.
-        from repro.devtools.lint.engine import main as lint_main
-
-        return lint_main(arguments[1:])
-    if arguments and arguments[0] == "report":
-        # So does the run-report renderer (a run directory + --top).
-        from repro.obs.report import main as report_main
-
-        return report_main(arguments[1:])
     parser = build_parser()
     args = parser.parse_args(arguments)
-    if args.target is not None and args.figure != "sweep":
-        parser.error(
-            f"unexpected argument {args.target!r}; only 'sweep' takes a target figure"
-        )
-    if args.trace is not None and args.figure not in ("sweep", *FLEET_FIGURES):
-        parser.error("--trace is only supported for 'sweep' and 'fleet'")
-    if args.profile and args.trace is None:
-        parser.error("--profile requires --trace DIR (hotspots land in the trace)")
-    if args.probe is not None:
-        if args.figure not in FLEET_FIGURES:
-            parser.error("--probe only applies to the 'fleet' figure")
-        if args.probe <= 0:
-            parser.error("--probe needs a positive sampling interval in seconds")
+    subparser = getattr(args, "_subparser", parser)
     if args.figure == "list":
-        print("lab figures:        " + ", ".join(sorted(LAB_FIGURES)))
-        print("paired-link figures: " + ", ".join(PAIRED_FIGURES))
-        print("topology figures:    " + ", ".join(TOPOLOGY_FIGURES))
-        print("fleet figures:       " + ", ".join(FLEET_FIGURES))
-        print("sweepable figures:   " + ", ".join(FIGURE_CELL_TASKS))
-        print(
-            "tools:               lint (invariant linter; repro lint --list-rules), "
-            "report (render a --trace run directory)"
-        )
-        return 0
+        return _run_list_command()
     if args.figure == "sweep":
-        return _run_sweep(args, parser)
+        return _run_sweep(args, subparser)
+    if args.figure == "run":
+        return _run_campaign_command(args, subparser)
+    if args.figure == "validate":
+        return _run_validate_command(args, subparser)
+    if args.figure == "lint":
+        from repro.devtools.lint.engine import run_lint
+
+        return run_lint(args)
+    if args.figure == "report":
+        from repro.obs.report import run_report
+
+        return run_report(args)
+    if getattr(args, "profile", False) and args.trace is None:
+        subparser.error("--profile requires --trace DIR (hotspots land in the trace)")
+    if getattr(args, "probe", None) is not None and args.probe <= 0:
+        subparser.error("--probe needs a positive sampling interval in seconds")
     if args.figure in LAB_FIGURES:
         _print_lab_figure(args.figure, args)
     elif args.figure in TOPOLOGY_FIGURES:
-        _print_topology_figure(args.figure, args, parser)
+        _print_topology_figure(args.figure, args, subparser)
     elif args.figure in FLEET_FIGURES:
-        _print_fleet_figure(args, parser)
+        _print_fleet_figure(args, subparser)
     else:
         _print_paired_figure(args.figure, args)
     return 0

@@ -33,6 +33,7 @@ RULE_SCOPES: dict[str, tuple[str, ...]] = {
         "repro.runner",
         "repro.workload",
         "repro.obs",
+        "repro.campaign",
     ),
     # Wall-clock reads: simulation, runner and experiment layers must be
     # pure functions of their specs.  The observability layer is in scope
@@ -45,6 +46,7 @@ RULE_SCOPES: dict[str, tuple[str, ...]] = {
         "repro.workload",
         "repro.experiments",
         "repro.obs",
+        "repro.campaign",
     ),
     # Unordered iteration: same blast radius as DET002.
     "DET003": (
@@ -54,6 +56,7 @@ RULE_SCOPES: dict[str, tuple[str, ...]] = {
         "repro.workload",
         "repro.experiments",
         "repro.obs",
+        "repro.campaign",
     ),
     # Content-key hygiene and API hygiene patrol the whole package.
     "KEY001": ("repro",),

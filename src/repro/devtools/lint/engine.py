@@ -26,7 +26,7 @@ from repro.devtools.lint.reporter import (
 )
 from repro.devtools.lint.walker import collect_files, load_file
 
-__all__ = ["lint_paths", "main"]
+__all__ = ["configure_parser", "lint_paths", "main", "run_lint"]
 
 
 def _build_rules(config: LintConfig, select: Sequence[str] | None) -> list[Rule]:
@@ -94,16 +94,13 @@ def count_files(paths: Sequence[str | Path]) -> int:
     return len(collect_files([Path(p) for p in paths]))
 
 
-def build_parser() -> argparse.ArgumentParser:
-    """Argument parser for ``repro lint``."""
-    parser = argparse.ArgumentParser(
-        prog="repro lint",
-        description=(
-            "AST-based invariant linter: determinism (DET*), content-key "
-            "hygiene (KEY*) and API hygiene (API*) contracts.  See "
-            "docs/invariants.md for the rule table and rationale."
-        ),
-    )
+def configure_parser(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Declare the ``repro lint`` option surface on ``parser``.
+
+    Shared between the standalone parser below and the ``lint``
+    subcommand of the main CLI, so both spellings accept exactly the
+    same flags.
+    """
     parser.add_argument(
         "paths",
         nargs="*",
@@ -123,10 +120,22 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    """``repro lint`` entry point; returns the process exit code."""
-    parser = build_parser()
-    args = parser.parse_args(argv)
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for ``repro lint``."""
+    return configure_parser(
+        argparse.ArgumentParser(
+            prog="repro lint",
+            description=(
+                "AST-based invariant linter: determinism (DET*), content-key "
+                "hygiene (KEY*) and API hygiene (API*) contracts.  See "
+                "docs/invariants.md for the rule table and rationale."
+            ),
+        )
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute ``repro lint`` from parsed options; returns the exit code."""
     if args.list_rules:
         print(render_rule_table())
         return 0
@@ -146,3 +155,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(render_diagnostics(diagnostics))
     print(render_summary(diagnostics, files_checked))
     return 1 if diagnostics else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """``repro lint`` entry point; returns the process exit code."""
+    return run_lint(build_parser().parse_args(argv))

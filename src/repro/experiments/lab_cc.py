@@ -11,13 +11,14 @@ is in the minority look good.
 
 from __future__ import annotations
 
-from repro.experiments.lab_common import LabFigure, sweep_to_figure
+from repro.experiments.lab_common import figure_cells_spec, LabFigure, sweep_to_figure
+from repro.runner.spec import ScenarioSpec
 from repro.netsim.fluid.application import Application
 from repro.netsim.fluid.competition import CompetitionModel
 from repro.netsim.fluid.lab import run_lab_sweep
 from repro.netsim.fluid.link import BottleneckLink
 
-__all__ = ["run_cc_experiment"]
+__all__ = ["run_cc_experiment", "cc_spec"]
 
 
 def run_cc_experiment(
@@ -60,3 +61,15 @@ def run_cc_experiment(
             f"{control_cc} (control), sharing a bottleneck"
         ),
     )
+
+
+def cc_spec(
+    noise: float = 0.0, seed: int | None = 0, label: str | None = None
+) -> ScenarioSpec:
+    """Runner spec for one Figure 3 (Cubic vs BBR) replication.
+
+    The campaign compiler's entry point: returns the content-keyed
+    ``figure.cells`` spec whose execution reproduces
+    :func:`run_cc_experiment`'s scalar cells at one seed.
+    """
+    return figure_cells_spec("fig3", noise=noise, seed=seed, label=label)

@@ -16,13 +16,14 @@ here:
 
 from __future__ import annotations
 
-from repro.experiments.lab_common import LabFigure, sweep_to_figure
+from repro.experiments.lab_common import figure_cells_spec, LabFigure, sweep_to_figure
+from repro.runner.spec import ScenarioSpec
 from repro.netsim.fluid.application import Application
 from repro.netsim.fluid.competition import CompetitionModel
 from repro.netsim.fluid.lab import run_lab_sweep
 from repro.netsim.fluid.link import BottleneckLink
 
-__all__ = ["run_pacing_experiment"]
+__all__ = ["run_pacing_experiment", "pacing_spec"]
 
 
 def run_pacing_experiment(
@@ -54,3 +55,15 @@ def run_pacing_experiment(
             "sharing a bottleneck"
         ),
     )
+
+
+def pacing_spec(
+    noise: float = 0.0, seed: int | None = 0, label: str | None = None
+) -> ScenarioSpec:
+    """Runner spec for one Figure 2b (pacing) replication.
+
+    The campaign compiler's entry point: returns the content-keyed
+    ``figure.cells`` spec whose execution reproduces
+    :func:`run_pacing_experiment`'s scalar cells at one seed.
+    """
+    return figure_cells_spec("fig2b", noise=noise, seed=seed, label=label)

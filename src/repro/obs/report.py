@@ -17,7 +17,7 @@ from typing import Any
 
 from repro.obs.profile import format_hotspots
 
-__all__ = ["render_report", "main"]
+__all__ = ["configure_parser", "main", "render_report", "run_report"]
 
 
 def _load_json(path: Path) -> dict[str, Any] | None:
@@ -116,17 +116,34 @@ def render_report(rundir: str | Path, top: int = 15) -> str:
     return "\n".join(lines)
 
 
-def main(argv: list[str] | None = None) -> int:
-    """Entry point for ``repro report``."""
-    parser = argparse.ArgumentParser(
-        prog="repro report", description="Render a report for a traced run directory."
-    )
+def configure_parser(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Declare the ``repro report`` option surface on ``parser``.
+
+    Shared between the standalone parser below and the ``report``
+    subcommand of the main CLI, so both spellings accept exactly the
+    same flags.
+    """
     parser.add_argument("rundir", help="Run directory written by --trace")
     parser.add_argument("--top", type=int, default=15, help="Hotspot rows to show (default 15)")
-    options = parser.parse_args(argv)
+    return parser
+
+
+def run_report(options: argparse.Namespace) -> int:
+    """Execute ``repro report`` from parsed options; returns the exit code."""
     rundir = Path(options.rundir)
     if not rundir.is_dir():
         print(f"error: {rundir} is not a directory", file=sys.stderr)
         return 2
     print(render_report(rundir, top=options.top))
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``repro report``."""
+    parser = configure_parser(
+        argparse.ArgumentParser(
+            prog="repro report",
+            description="Render a report for a traced run directory.",
+        )
+    )
+    return run_report(parser.parse_args(argv))

@@ -28,6 +28,7 @@ from repro.runner.cache import ResultCache, default_cache_dir
 from repro.runner.executor import ParallelExecutor, run_specs
 from repro.runner.spec import (
     ScenarioSpec,
+    canonical,
     content_key,
     get_task,
     register_task,
@@ -38,6 +39,7 @@ __all__ = [
     "ScenarioSpec",
     "ParallelExecutor",
     "ResultCache",
+    "canonical",
     "content_key",
     "default_cache_dir",
     "get_task",

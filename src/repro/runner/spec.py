@@ -28,7 +28,14 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["ScenarioSpec", "register_task", "get_task", "run_spec", "content_key"]
+__all__ = [
+    "ScenarioSpec",
+    "register_task",
+    "get_task",
+    "run_spec",
+    "content_key",
+    "canonical",
+]
 
 #: Registered task functions, keyed by task name.
 _TASKS: dict[str, Callable[..., Any]] = {}
@@ -120,14 +127,22 @@ def content_key(spec: ScenarioSpec) -> str:
         "version": __version__,
         "task": spec.task,
         "seed": spec.seed,
-        "params": _canonical(spec.params),
+        "params": canonical(spec.params),
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
-def _canonical(obj: Any) -> Any:
-    """Reduce ``obj`` to a JSON-serializable form with a stable ordering."""
+def canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-serializable form with a stable ordering.
+
+    This is the substrate of every content key in the package: two objects
+    with the same canonical form are treated as the same computation.  The
+    reduction must therefore be *total* on keyable inputs and *loud* on
+    anything else — an object it cannot order deterministically raises
+    :class:`TypeError` rather than falling back to a lossy representation
+    that could silently collide.
+    """
     if obj is None or isinstance(obj, (bool, int, str)):
         return obj
     if isinstance(obj, float):
@@ -145,19 +160,23 @@ def _canonical(obj: Any) -> Any:
         return {
             "__dataclass__": f"{type(obj).__module__}.{type(obj).__qualname__}",
             "fields": {
-                f.name: _canonical(getattr(obj, f.name))
+                f.name: canonical(getattr(obj, f.name))
                 for f in dataclasses.fields(obj)
             },
         }
     if isinstance(obj, Mapping):
-        items = [[_canonical(k), _canonical(v)] for k, v in obj.items()]
-        items.sort(key=lambda kv: json.dumps(kv[0], sort_keys=True, default=str))
+        # The sort key must never fall back to repr/str: two distinct
+        # members stringifying identically would make the ordering depend
+        # on insertion order, i.e. equal mappings could key apart.  Any
+        # member json.dumps cannot serialize raises TypeError instead.
+        items = [[canonical(k), canonical(v)] for k, v in obj.items()]
+        items.sort(key=lambda kv: json.dumps(kv[0], sort_keys=True))
         return {"__mapping__": items}
     if isinstance(obj, (list, tuple)):
-        return [_canonical(x) for x in obj]
+        return [canonical(x) for x in obj]
     if isinstance(obj, (set, frozenset)):
-        members = [_canonical(x) for x in obj]
-        members.sort(key=lambda m: json.dumps(m, sort_keys=True, default=str))
+        members = [canonical(x) for x in obj]
+        members.sort(key=lambda m: json.dumps(m, sort_keys=True))
         return {"__set__": members}
     if not callable(obj) and hasattr(obj, "__dict__"):
         # Plain classes (AllocationPlan, OutcomeTable, ...) are keyed by
@@ -165,7 +184,7 @@ def _canonical(obj: Any) -> Any:
         # their code, which instance state cannot capture.
         return {
             "__object__": f"{type(obj).__module__}.{type(obj).__qualname__}",
-            "state": _canonical(vars(obj)),
+            "state": canonical(vars(obj)),
         }
     raise TypeError(
         f"cannot build a content key for {type(obj).__name__!s}: {obj!r}"

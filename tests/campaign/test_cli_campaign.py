@@ -1,0 +1,133 @@
+"""CLI tests for the `repro run` and `repro validate` subcommands."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+CAMPAIGN_DOC = {
+    "campaign": "cli-smoke",
+    "stages": [{"figure": "topo_rtt", "quick": True}],
+}
+
+
+@pytest.fixture
+def campaign_file(tmp_path):
+    path = tmp_path / "camp.json"
+    path.write_text(json.dumps(CAMPAIGN_DOC), encoding="utf-8")
+    return path
+
+
+class TestRunParser:
+    def test_run_takes_a_campaign_file(self):
+        args = build_parser().parse_args(["run", "c.yaml", "--jobs", "4", "--cache"])
+        assert args.figure == "run"
+        assert args.campaign_file == "c.yaml"
+        assert args.jobs == 4
+        assert args.cache is True
+
+    def test_run_requires_a_campaign_file(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_validate_takes_a_rundir(self):
+        args = build_parser().parse_args(["validate", "RUN", "--campaign", "c.yaml"])
+        assert args.figure == "validate"
+        assert args.rundir == "RUN"
+        assert args.campaign == "c.yaml"
+
+
+class TestRunCommand:
+    def test_run_prints_summary_and_is_jobs_invariant(self, campaign_file, capsys):
+        assert main(["run", str(campaign_file), "--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["run", str(campaign_file), "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+        assert serial.startswith("campaign cli-smoke")
+        assert "stages: 1, arms: 1, unique: 1" in serial
+        assert "topo_rtt (figure topo_rtt, deterministic)" in serial
+
+    def test_cached_rerun_hits_every_arm(self, campaign_file, tmp_path, capsys):
+        argv = ["run", str(campaign_file), "--cache", "--cache-dir", str(tmp_path / "c")]
+        assert main(argv) == 0
+        cold = capsys.readouterr()
+        assert "cache: 0 hit(s), 1 miss(es)" in cold.err
+        assert main(argv) == 0
+        warm = capsys.readouterr()
+        assert "cache: 1 hit(s), 0 miss(es)" in warm.err
+        assert cold.out == warm.out
+
+    def test_trace_writes_a_validatable_run_dir(self, campaign_file, tmp_path, capsys):
+        rundir = tmp_path / "RUN"
+        assert main(["run", str(campaign_file), "--trace", str(rundir)]) == 0
+        err = capsys.readouterr().err
+        assert f"trace written to {rundir}" in err
+        assert (rundir / "manifest.json").is_file()
+        assert (rundir / "results.json").is_file()
+        assert (rundir / "trace.jsonl").is_file()
+
+        argv = ["validate", str(rundir), "--campaign", str(campaign_file)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert ": OK (1 stages, 1 arms, 1 unique)" in out
+
+    def test_bad_campaign_file_is_a_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"stages": [{"figure": "figZ"}]}), encoding="utf-8")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", str(path)])
+        assert excinfo.value.code == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_missing_campaign_file_is_a_usage_error(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", str(tmp_path / "nope.yaml")])
+        assert excinfo.value.code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_profile_requires_trace(self, campaign_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", str(campaign_file), "--profile"])
+        assert "--profile requires --trace" in capsys.readouterr().err
+
+
+class TestValidateCommand:
+    def test_missing_rundir_exits_2(self, tmp_path, capsys):
+        assert main(["validate", str(tmp_path / "nope")]) == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_mutilated_rundir_exits_1(self, campaign_file, tmp_path, capsys):
+        rundir = tmp_path / "RUN"
+        assert main(["run", str(campaign_file), "--trace", str(rundir)]) == 0
+        capsys.readouterr()
+        results = rundir / "results.json"
+        data = json.loads(results.read_text(encoding="utf-8"))
+        data["cells"] = {}
+        results.write_text(json.dumps(data), encoding="utf-8")
+
+        assert main(["validate", str(rundir)]) == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        assert "missing arm result" in out
+
+    def test_wrong_campaign_exits_1(self, campaign_file, tmp_path, capsys):
+        rundir = tmp_path / "RUN"
+        assert main(["run", str(campaign_file), "--trace", str(rundir)]) == 0
+        other = tmp_path / "other.json"
+        other.write_text(
+            json.dumps({"campaign": "other", "stages": [{"figure": "topo_aqm"}]}),
+            encoding="utf-8",
+        )
+        assert main(["validate", str(rundir), "--campaign", str(other)]) == 1
+        out = capsys.readouterr().out
+        assert "campaign mismatch" in out
+
+
+class TestListCommand:
+    def test_list_mentions_campaigns(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "campaigns:" in out
+        assert "repro run" in out

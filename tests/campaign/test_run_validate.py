@@ -1,0 +1,234 @@
+"""End-to-end tests: run a small campaign, persist it, validate it.
+
+One campaign is executed once per module (session-scoped fixture) and
+every mutilation test works on its own copy of the run directory, so the
+suite pays for the simulations a single time.
+"""
+
+import json
+import shutil
+
+import pytest
+
+from repro.campaign import (
+    MANIFEST_NAME,
+    RESULTS_NAME,
+    parse_campaign,
+    run_campaign,
+    validate_run,
+    write_run_dir,
+)
+from repro.runner import ResultCache
+
+CAMPAIGN_DOC = {
+    "campaign": "e2e",
+    "description": "end-to-end campaign test",
+    "stages": [
+        {"figure": "fig2a", "name": "lab", "noise": 0.02, "replications": 2},
+        {"figure": "topo_rtt", "quick": True},
+    ],
+}
+
+
+@pytest.fixture(scope="session")
+def campaign():
+    return parse_campaign(CAMPAIGN_DOC)
+
+
+@pytest.fixture(scope="session")
+def result(campaign):
+    return run_campaign(campaign, jobs=1)
+
+
+@pytest.fixture(scope="session")
+def rundir(tmp_path_factory, campaign, result):
+    path = tmp_path_factory.mktemp("campaign-run")
+    write_run_dir(path, result)
+    return path
+
+
+@pytest.fixture
+def broken(rundir, tmp_path):
+    """A throwaway copy of the good run directory, free to mutilate."""
+    copy = tmp_path / "run"
+    shutil.copytree(rundir, copy)
+    return copy
+
+
+def _edit_json(path, mutate):
+    data = json.loads(path.read_text(encoding="utf-8"))
+    mutate(data)
+    path.write_text(json.dumps(data), encoding="utf-8")
+
+
+class TestRunCampaign:
+    def test_arm_results_line_up_with_the_spec(self, campaign, result):
+        assert [(a.stage, a.seed) for a in result.arms] == [
+            ("lab", 0),
+            ("lab", 1),
+            ("topo_rtt", None),
+        ]
+        assert result.unique_arms == 3
+        assert all(a.cells for a in result.arms)
+        assert result.stage_arms("lab") == result.arms[:2]
+
+    def test_parallel_run_is_bit_identical(self, campaign, result):
+        parallel = run_campaign(campaign, jobs=2)
+        assert parallel.arms == result.arms
+
+    def test_cache_round_trip_hits_every_arm(self, campaign, result, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cold = run_campaign(campaign, jobs=1, cache=cache)
+        assert (cold.cache_hits, cold.cache_misses) == (0, 3)
+        warm = run_campaign(campaign, jobs=2, cache=cache)
+        assert (warm.cache_hits, warm.cache_misses) == (3, 0)
+        assert warm.arms == result.arms == cold.arms
+
+    def test_shared_arms_dedupe_across_stages(self, campaign):
+        doubled = parse_campaign(
+            {
+                "campaign": "dup",
+                "stages": [
+                    {"figure": "topo_rtt", "name": "a", "quick": True},
+                    {"figure": "topo_rtt", "name": "b", "quick": True},
+                ],
+            }
+        )
+        result = run_campaign(doubled, jobs=1)
+        assert len(result.arms) == 2
+        assert result.unique_arms == 1
+        assert result.arms[0].cells == result.arms[1].cells
+
+    def test_summary_lines_shape(self, result):
+        lines = result.summary_lines()
+        assert lines[0] == "campaign e2e: end-to-end campaign test"
+        assert lines[1] == "stages: 2, arms: 3, unique: 3"
+        assert "lab (figure fig2a, seeds 0,1)" in lines
+        assert "topo_rtt (figure topo_rtt, deterministic)" in lines
+        assert any("±" in line for line in lines)  # replicated stage gets a CI
+
+
+class TestRunDir:
+    def test_artifacts_exist_and_pin_provenance(self, rundir, campaign):
+        from repro import __version__
+
+        manifest = json.loads((rundir / MANIFEST_NAME).read_text(encoding="utf-8"))
+        assert manifest["schema"] == 1
+        assert manifest["package"] == "repro"
+        assert manifest["version"] == __version__
+        assert manifest["campaign"]["key"] == campaign.content_key()
+        assert [a["stage"] for a in manifest["arms"]] == ["lab", "lab", "topo_rtt"]
+        assert all(len(a["key"]) == 64 for a in manifest["arms"])
+
+        results = json.loads((rundir / RESULTS_NAME).read_text(encoding="utf-8"))
+        assert results["campaign_key"] == campaign.content_key()
+        assert set(results["cells"]) == {a["key"] for a in manifest["arms"]}
+
+    def test_write_is_deterministic(self, rundir, result, tmp_path):
+        again = write_run_dir(tmp_path / "again", result)
+        for name in (MANIFEST_NAME, RESULTS_NAME):
+            assert (again / name).read_bytes() == (rundir / name).read_bytes()
+
+
+class TestValidateRun:
+    def test_good_run_validates(self, rundir, campaign):
+        report = validate_run(rundir, campaign=campaign)
+        assert report.ok
+        assert (report.stages, report.arms, report.unique_arms) == (2, 3, 3)
+        [line] = report.summary_lines()
+        assert line.endswith(": OK (2 stages, 3 arms, 3 unique)")
+
+    def test_not_a_directory(self, tmp_path):
+        report = validate_run(tmp_path / "nope")
+        assert not report.ok
+        assert "not a directory" in report.problems[0]
+
+    def test_missing_manifest(self, broken):
+        (broken / MANIFEST_NAME).unlink()
+        report = validate_run(broken)
+        assert report.problems == (f"missing artifact: {MANIFEST_NAME}",)
+
+    def test_missing_arm_result(self, broken):
+        def drop_one(data):
+            key = sorted(data["cells"])[0]
+            del data["cells"][key]
+
+        _edit_json(broken / RESULTS_NAME, drop_one)
+        report = validate_run(broken)
+        assert any("missing arm result" in p for p in report.problems)
+
+    def test_unreferenced_result(self, broken):
+        _edit_json(
+            broken / RESULTS_NAME,
+            lambda data: data["cells"].update({"f" * 64: {"cell": 1.0}}),
+        )
+        report = validate_run(broken)
+        assert any("unreferenced result" in p for p in report.problems)
+
+    def test_version_drift_reported_once(self, broken):
+        _edit_json(
+            broken / MANIFEST_NAME, lambda data: data.update(version="0.0.1")
+        )
+        report = validate_run(broken)
+        drift = [p for p in report.problems if "version drift" in p]
+        assert len(drift) == 1
+        # Drift suppresses per-arm key recomputation — no mismatch spam.
+        assert not any("key mismatch" in p for p in report.problems)
+
+    def test_tampered_arm_seed_is_caught(self, broken):
+        def reseed(data):
+            data["arms"][0]["seed"] = 99
+
+        _edit_json(broken / MANIFEST_NAME, reseed)
+        report = validate_run(broken)
+        assert any("arm key mismatch" in p for p in report.problems)
+        assert any("seed mismatch in stage 'lab'" in p for p in report.problems)
+
+    def test_duplicate_arm_is_caught(self, broken):
+        _edit_json(
+            broken / MANIFEST_NAME,
+            lambda data: data["arms"].append(dict(data["arms"][0])),
+        )
+        report = validate_run(broken)
+        assert any(p.startswith("duplicate arm") for p in report.problems)
+
+    def test_campaign_mismatch(self, broken):
+        other = parse_campaign({"campaign": "other", "stages": [{"figure": "topo_rtt"}]})
+        report = validate_run(broken, campaign=other)
+        assert any("campaign mismatch" in p for p in report.problems)
+
+    def test_non_finite_cell_is_caught(self, broken):
+        def poison(data):
+            key = sorted(data["cells"])[0]
+            cell = sorted(data["cells"][key])[0]
+            data["cells"][key][cell] = 1e999  # serializes as Infinity
+
+        _edit_json(broken / RESULTS_NAME, poison)
+        report = validate_run(broken)
+        assert any("non-finite cell" in p for p in report.problems)
+
+    def test_cell_set_mismatch_within_stage(self, broken):
+        manifest = json.loads((broken / MANIFEST_NAME).read_text(encoding="utf-8"))
+        lab_keys = [a["key"] for a in manifest["arms"] if a["stage"] == "lab"]
+
+        def unbalance(data):
+            data["cells"][lab_keys[0]]["extra_cell"] = 1.0
+
+        _edit_json(broken / RESULTS_NAME, unbalance)
+        report = validate_run(broken)
+        assert any("cell-set mismatch" in p for p in report.problems)
+
+    def test_stage_key_tamper_is_caught(self, broken):
+        def rename(data):
+            data["campaign"]["stages"][0]["name"] = "renamed"
+
+        _edit_json(broken / MANIFEST_NAME, rename)
+        report = validate_run(broken)
+        assert any("campaign key mismatch" in p for p in report.problems)
+
+    def test_corrupt_meta_counters(self, broken):
+        (broken / "meta.json").write_text(
+            json.dumps({"tasks": -1}), encoding="utf-8"
+        )
+        report = validate_run(broken)
+        assert any("meta.json" in p for p in report.problems)

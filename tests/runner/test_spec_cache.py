@@ -8,6 +8,7 @@ import pytest
 from repro.runner import (
     ResultCache,
     ScenarioSpec,
+    canonical,
     content_key,
     default_cache_dir,
     register_task,
@@ -108,6 +109,41 @@ class TestContentKey:
     def test_uncanonicalizable_param_raises(self):
         with pytest.raises(TypeError):
             content_key(ScenarioSpec(task="t", params={"fn": lambda: None}))
+
+
+class TestCanonicalOrdering:
+    """The sort key behind sets/mappings must never fall back to str()."""
+
+    def test_set_ordering_is_insertion_independent(self):
+        members = [("a", 1), ("b", 2), ("c", 3)]
+        forward = canonical(set(members))
+        backward = canonical(set(reversed(members)))
+        assert forward == backward
+
+    def test_set_of_mappings_keys_identically_across_orders(self):
+        a = ScenarioSpec(task="t", params={"s": frozenset([("x", 1), ("y", 2)])})
+        b = ScenarioSpec(task="t", params={"s": frozenset([("y", 2), ("x", 1)])})
+        assert content_key(a) == content_key(b)
+
+    def test_unserializable_set_member_raises_not_stringifies(self):
+        # Before the fix the sort key fell back to ``default=str``: two
+        # distinct unkeyable members could stringify identically and the
+        # canonical ordering silently depended on insertion order.  Now
+        # the member itself raises.
+        with pytest.raises(TypeError):
+            content_key(
+                ScenarioSpec(task="t", params={"s": frozenset([object()])})
+            )
+
+    def test_unserializable_mapping_key_raises(self):
+        with pytest.raises(TypeError):
+            canonical({object(): 1})
+
+    def test_canonical_is_public(self):
+        # The campaign layer keys whole campaigns through this function;
+        # it is part of the runner's public surface (API001 otherwise
+        # flags cross-module use of a private helper).
+        assert canonical({"b": 1, "a": 2}) == canonical({"a": 2, "b": 1})
 
 
 class TestResultCache:
